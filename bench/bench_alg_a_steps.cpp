@@ -1,0 +1,86 @@
+// Experiment T6 (Theorem 6 / Figure 4): Algorithm A's step complexities.
+//
+// Paper claim:  ReadMax is O(1); WriteMax(v) is O(min(log N, log v)).
+//
+// Series printed:
+//   (a) ReadMax steps vs N               -- expected: constant 1.
+//   (b) WriteMax(v) steps vs v at fixed N -- expected: grows ~ 16 log2 v
+//       while v < N (B1 leaf regime), then flat ~ 8 log2 N (process leaf
+//       regime).  The crossover at v = N is the min() in Theorem 6.
+//   (c) WriteMax(1) steps vs N           -- expected: constant (the whole
+//       point of the B1 subtree: small operands never pay log N).
+#include <cstdint>
+#include <iostream>
+
+#include "ruco/core/table.h"
+#include "ruco/maxreg/tree_max_register.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/util/bits.h"
+
+namespace {
+
+using ruco::ProcId;
+using ruco::Value;
+
+std::uint64_t write_steps(ruco::maxreg::TreeMaxRegister& reg, ProcId p,
+                          Value v) {
+  ruco::runtime::StepScope scope;
+  reg.write_max(p, v);
+  return scope.taken();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# T6: Algorithm A step complexity (Hendler-Khait Thm 6)\n\n";
+
+  {
+    std::cout << "## (a) ReadMax steps vs N  [paper: O(1)]\n\n";
+    ruco::Table t{{"N", "ReadMax steps"}};
+    for (const std::uint32_t n : {2u, 8u, 32u, 128u, 512u, 2048u, 8192u}) {
+      ruco::maxreg::TreeMaxRegister reg{n};
+      reg.write_max(0, 1);
+      ruco::runtime::StepScope scope;
+      (void)reg.read_max(1);
+      t.add(n, scope.taken());
+    }
+    t.print();
+  }
+
+  {
+    constexpr std::uint32_t kN = 1024;
+    std::cout << "\n## (b) WriteMax(v) steps vs v at N = " << kN
+              << "  [paper: O(min(log N, log v)); crossover at v = N]\n\n";
+    ruco::Table t{{"v", "steps (fresh reg)", "regime", "leaf depth"}};
+    for (const Value v :
+         {Value{0}, Value{1}, Value{3}, Value{7}, Value{15}, Value{63},
+          Value{255}, Value{1023}, Value{1024}, Value{4096}, Value{1 << 16},
+          Value{1 << 20}}) {
+      ruco::maxreg::TreeMaxRegister reg{kN};
+      const auto steps = write_steps(reg, 0, v);
+      t.add(v, steps, v < Value{kN} ? "B1 (log v)" : "TR (log N)",
+            reg.write_leaf_depth(0, v));
+    }
+    t.print();
+  }
+
+  {
+    std::cout << "\n## (c) WriteMax(1) steps vs N  [paper: O(1), independent"
+                 " of N]\n\n";
+    ruco::Table t{{"N", "WriteMax(1) steps", "WriteMax(N-1) steps",
+                   "WriteMax(2N) steps"}};
+    for (const std::uint32_t n : {4u, 16u, 64u, 256u, 1024u, 4096u}) {
+      ruco::maxreg::TreeMaxRegister a{n};
+      ruco::maxreg::TreeMaxRegister b{n};
+      ruco::maxreg::TreeMaxRegister c{n};
+      t.add(n, write_steps(a, 0, 1), write_steps(b, 0, Value{n} - 1),
+            write_steps(c, 0, Value{n} * 2));
+    }
+    t.print();
+  }
+
+  std::cout << "\nShape check: (a) constant, (b) ~16*log2(v) before the "
+               "v=N crossover then flat, (c) column 1 constant while "
+               "columns 2-3 grow ~8*log2(N).\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment AAC: the read/update tradeoff across max register designs.
+//
+// Paper claims compared:
+//   * AAC (reference [2], read/write only): ReadMax and WriteMax both
+//     Theta(log M).
+//   * Algorithm A (Theorem 6, adds CAS):   ReadMax O(1), WriteMax
+//     O(min(log N, log v)).
+//   * CAS retry loop:                      both O(1) solo -- but only
+//     lock-free, and Theorem 3 still forces executions with
+//     Omega(log log K) writes (see bench_thm3_adversary).
+//
+// Theorem 4 reading of this table: AAC is read-suboptimal by design; any
+// read-optimal register (the other two) must pay Omega(log log min(N,M))
+// on writes in SOME execution -- the solo numbers below show where each
+// design spends its steps, the adversary bench shows the forced stretch.
+#include <cstdint>
+#include <iostream>
+
+#include "ruco/core/table.h"
+#include "ruco/maxreg/aac_max_register.h"
+#include "ruco/maxreg/cas_max_register.h"
+#include "ruco/maxreg/tree_max_register.h"
+#include "ruco/maxreg/unbounded_aac_max_register.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/util/rng.h"
+#include "ruco/util/stats.h"
+
+namespace {
+
+using ruco::Value;
+
+template <typename Reg>
+void measure(Reg& reg, Value bound, std::uint64_t seed,
+             ruco::util::Samples& reads, ruco::util::Samples& writes) {
+  ruco::util::SplitMix64 rng{seed};
+  for (int i = 0; i < 2000; ++i) {
+    const Value v =
+        static_cast<Value>(rng.below(static_cast<std::uint64_t>(bound)));
+    {
+      ruco::runtime::StepScope s;
+      reg.write_max(0, v);
+      writes.add(s.taken());
+    }
+    {
+      ruco::runtime::StepScope s;
+      (void)reg.read_max(0);
+      reads.add(s.taken());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# AAC vs Algorithm A vs CAS loop: solo step costs over "
+               "random workloads\n\n";
+  ruco::Table t{{"M = N", "impl", "read mean", "read max", "write mean",
+                 "write p99", "write max"}};
+  for (const std::uint32_t m : {16u, 256u, 4096u, 65536u}) {
+    {
+      ruco::maxreg::AacMaxRegister reg{static_cast<Value>(m)};
+      ruco::util::Samples r, w;
+      measure(reg, static_cast<Value>(m), 42, r, w);
+      t.add(m, "AAC (rw-only)", r.mean(), r.max(), w.mean(),
+            w.percentile(99), w.max());
+    }
+    {
+      ruco::maxreg::TreeMaxRegister reg{m};
+      ruco::util::Samples r, w;
+      measure(reg, static_cast<Value>(m), 42, r, w);
+      t.add(m, "Algorithm A", r.mean(), r.max(), w.mean(), w.percentile(99),
+            w.max());
+    }
+    {
+      ruco::maxreg::UnboundedAacMaxRegister reg{26};
+      ruco::util::Samples r, w;
+      measure(reg, static_cast<Value>(m), 42, r, w);
+      t.add(m, "unbounded AAC (rw)", r.mean(), r.max(), w.mean(),
+            w.percentile(99), w.max());
+    }
+    {
+      ruco::maxreg::CasMaxRegister reg;
+      ruco::util::Samples r, w;
+      measure(reg, static_cast<Value>(m), 42, r, w);
+      t.add(m, "CAS loop", r.mean(), r.max(), w.mean(), w.percentile(99),
+            w.max());
+    }
+  }
+  t.print();
+  std::cout
+      << "\nShape check: AAC read&write grow ~log2(M) together; Algorithm A "
+         "reads stay at 1 while writes grow ~log2; the CAS loop is flat "
+         "solo (its cost appears only under the Theorem 3 adversary).\n";
+  return 0;
+}

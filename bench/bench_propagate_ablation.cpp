@@ -1,0 +1,101 @@
+// Ablation (DESIGN.md decision 2): why Algorithm A CASes *twice* per level
+// (lines 6-9).  One attempt would save half the write steps -- and loses
+// linearizability.  We quantify both sides:
+//   (a) the step savings a single-attempt variant would enjoy,
+//   (b) the violation rate random schedules expose for attempts = 1 vs the
+//       zero violations for attempts = 2.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "ruco/core/table.h"
+#include "ruco/lincheck/checker.h"
+#include "ruco/lincheck/specs.h"
+#include "ruco/sim/schedulers.h"
+#include "ruco/sim/system.h"
+#include "ruco/simalgos/sim_max_registers.h"
+#include "ruco/util/rng.h"
+
+namespace {
+
+using ruco::ProcId;
+using ruco::Value;
+using ruco::simalgos::SimTreeMaxRegister;
+
+struct SweepResult {
+  int violations = 0;
+  int runs = 0;
+  double mean_write_steps = 0;
+};
+
+SweepResult sweep(int attempts, int seeds) {
+  SweepResult out;
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_writes = 0;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    ruco::sim::Program prog;
+    auto reg = std::make_shared<SimTreeMaxRegister>(
+        prog, 4, ruco::maxreg::Faithfulness::kHelpOnDuplicate, attempts);
+    constexpr Value kWriters = 2;  // sibling B1 leaves: the racy pair
+    for (Value v = 1; v <= kWriters; ++v) {
+      prog.add_process([reg, v](ruco::sim::Ctx& ctx) -> ruco::sim::Op {
+        ctx.mark_invoke("WriteMax", v);
+        co_await reg->write_max(ctx, v);
+        ctx.mark_return(0);
+        co_return 0;
+      });
+    }
+    prog.add_process([reg](ruco::sim::Ctx& ctx) -> ruco::sim::Op {
+      ctx.mark_invoke("ReadMax", 0);
+      const Value v = co_await reg->read_max(ctx);
+      ctx.mark_return(v);
+      co_return v;
+    });
+    ruco::sim::System sys{prog};
+    ruco::util::SplitMix64 rng{seed};
+    std::vector<ProcId> live{0, 1};
+    while (!live.empty()) {
+      const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+      sys.step(live[i]);
+      if (!sys.active(live[i])) {
+        live[i] = live.back();
+        live.pop_back();
+      }
+    }
+    total_steps += sys.steps_taken(0) + sys.steps_taken(1);
+    total_writes += 2;
+    ruco::sim::run_solo(sys, kWriters, 1u << 20);  // reader strictly after
+    const auto res = ruco::lincheck::check_linearizable(
+        ruco::lincheck::from_sim_history(sys.history()),
+        ruco::lincheck::MaxRegisterSpec{});
+    ++out.runs;
+    if (res.decided && !res.linearizable) ++out.violations;
+  }
+  out.mean_write_steps =
+      static_cast<double>(total_steps) / static_cast<double>(total_writes);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Ablation: double-CAS propagation (Algorithm A lines 6-9)"
+               "\n\n";
+  ruco::Table t{{"propagate attempts", "mean WriteMax steps",
+                 "violations / runs", "linearizable"}};
+  for (const int attempts : {1, 2, 3}) {
+    const auto r = sweep(attempts, 1500);
+    t.add(attempts, r.mean_write_steps,
+          std::to_string(r.violations) + " / " + std::to_string(r.runs),
+          r.violations == 0 ? "yes" : "NO");
+  }
+  t.print();
+  std::cout
+      << "\nShape check: one attempt is ~2x cheaper and measurably wrong "
+         "(random schedules already catch completed-write losses); two "
+         "attempts suffice -- the paper's Lemma 9 argument -- and a third "
+         "buys nothing but steps.\n";
+  return 0;
+}

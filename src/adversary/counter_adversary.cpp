@@ -1,0 +1,58 @@
+#include "ruco/adversary/counter_adversary.h"
+
+#include <unordered_set>
+
+#include "ruco/adversary/lemma_one.h"
+#include "ruco/sim/schedulers.h"
+
+namespace ruco::adversary {
+
+CounterAdversaryReport run_counter_adversary(
+    const simalgos::CounterProgram& target, std::uint64_t max_rounds) {
+  CounterAdversaryReport report;
+  report.n = target.num_incrementers + 1;
+
+  sim::System sys{target.program};
+  std::vector<ProcId> incrementers;
+  incrementers.reserve(target.num_incrementers);
+  for (ProcId p = 0; p < target.num_incrementers; ++p) {
+    incrementers.push_back(p);
+  }
+
+  std::size_t knowledge_cap = 1;  // 3^j, saturating
+  while (report.rounds < max_rounds) {
+    std::vector<ProcId> active;
+    for (const ProcId p : incrementers) {
+      if (sys.active(p)) active.push_back(p);
+    }
+    if (active.empty()) break;
+    const LemmaOneRound round = lemma_one_round(sys, active);
+    ++report.rounds;
+    if (knowledge_cap <= report.n) knowledge_cap *= 3;
+    report.knowledge_per_round.push_back(round.knowledge_after);
+    if (round.knowledge_after > knowledge_cap) {
+      report.knowledge_bound_held = false;
+    }
+  }
+  for (const ProcId p : incrementers) {
+    report.max_increment_steps =
+        std::max(report.max_increment_steps, sys.steps_taken(p));
+  }
+
+  // Lemma 3's reader: p_N performs a CounterRead to completion, alone.
+  const std::size_t trace_before = sys.trace().size();
+  sim::run_solo(sys, target.reader, 1u << 24);
+  report.reader_steps = sys.steps_taken(target.reader);
+  report.reader_value = sys.result(target.reader);
+  report.reader_correct =
+      report.reader_value == static_cast<Value>(target.num_incrementers);
+  report.reader_awareness = sys.awareness(target.reader).count();
+  std::unordered_set<sim::ObjectId> touched;
+  for (std::size_t i = trace_before; i < sys.trace().size(); ++i) {
+    touched.insert(sys.trace()[i].obj);
+  }
+  report.reader_distinct_objects = touched.size();
+  return report;
+}
+
+}  // namespace ruco::adversary

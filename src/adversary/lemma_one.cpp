@@ -1,0 +1,42 @@
+#include "ruco/adversary/lemma_one.h"
+
+#include <algorithm>
+
+namespace ruco::adversary {
+
+LemmaOneRound lemma_one_round(sim::System& sys,
+                              const std::vector<ProcId>& candidates) {
+  LemmaOneRound round;
+  round.knowledge_before = sys.max_knowledge_seen();
+
+  std::vector<ProcId> quiet;   // sigma_1: reads, trivial CAS, trivial writes
+  std::vector<ProcId> writes;  // sigma_2: value-changing writes
+  std::vector<ProcId> cases;   // sigma_3: value-changing CASes
+  for (const ProcId p : candidates) {
+    const sim::Pending* pending = sys.enabled(p);
+    if (pending == nullptr) continue;
+    if (!sys.pending_would_change(p)) {
+      quiet.push_back(p);
+    } else if (pending->prim == sim::Prim::kWrite) {
+      writes.push_back(p);
+    } else {
+      cases.push_back(p);
+    }
+  }
+  for (const ProcId p : quiet) {
+    sys.step(p);
+    ++round.scheduled;
+  }
+  for (const ProcId p : writes) {
+    sys.step(p);
+    ++round.scheduled;
+  }
+  for (const ProcId p : cases) {
+    sys.step(p);
+    ++round.scheduled;
+  }
+  round.knowledge_after = sys.max_knowledge_seen();
+  return round;
+}
+
+}  // namespace ruco::adversary

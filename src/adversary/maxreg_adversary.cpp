@@ -1,0 +1,365 @@
+#include "ruco/adversary/maxreg_adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "ruco/sim/awareness.h"
+#include "ruco/sim/schedulers.h"
+#include "ruco/sim/system.h"
+
+namespace ruco::adversary {
+
+namespace {
+
+using sim::KnowledgeSets;
+using sim::ObjectId;
+using sim::Pending;
+using sim::Prim;
+using sim::ProcSet;
+using sim::System;
+using sim::Trace;
+
+struct Plan {
+  MaxRegIteration::Case contention = MaxRegIteration::Case::kLowContention;
+  std::vector<ProcId> next_essential;
+  std::vector<ProcId> schedule;  // step order after erasure
+  std::vector<ProcId> to_erase;
+  bool halts = false;
+};
+
+/// Lemma 4 case 1: one process per object, then a greedy independent set in
+/// the familiarity graph (edge when one process's target object is familiar
+/// with the other process).  Average degree <= 2, so >= 1/3 survive.
+std::vector<ProcId> independent_set(
+    const std::vector<std::pair<ProcId, ObjectId>>& candidates,
+    const KnowledgeSets& know, std::size_t num_processes) {
+  ProcSet candidate_set{num_processes};
+  for (const auto& [p, o] : candidates) candidate_set.add(p);
+
+  // Sparse adjacency: each F(o_p) holds at most one candidate (hidden-set
+  // invariant), so at most 2 edges incident per vertex on average.
+  std::map<ProcId, std::vector<ProcId>> adj;
+  for (const auto& [p, o] : candidates) {
+    for (const ProcId q : know.familiarity[o].intersection(candidate_set)) {
+      if (q == p) continue;
+      adj[p].push_back(q);
+      adj[q].push_back(p);
+    }
+  }
+  std::vector<ProcId> kept;
+  ProcSet kept_set{num_processes};
+  for (const auto& [p, o] : candidates) {
+    bool blocked = false;
+    if (const auto it = adj.find(p); it != adj.end()) {
+      for (const ProcId q : it->second) {
+        if (kept_set.contains(q)) {
+          blocked = true;
+          break;
+        }
+      }
+    }
+    if (!blocked) {
+      kept.push_back(p);
+      kept_set.add(p);
+    }
+  }
+  return kept;
+}
+
+Plan make_plan(const System& sys, const KnowledgeSets& know,
+               const std::vector<ProcId>& essential,
+               const std::vector<ProcId>& active) {
+  Plan plan;
+  const std::size_t m = active.size();
+  const auto sqrt_m =
+      static_cast<std::size_t>(std::floor(std::sqrt(static_cast<double>(m))));
+
+  // Group the enabled events of the active essential processes by object.
+  std::map<ObjectId, std::vector<ProcId>> groups;
+  for (const ProcId p : active) {
+    groups[sys.enabled(p)->obj].push_back(p);
+  }
+  const auto largest = std::max_element(
+      groups.begin(), groups.end(), [](const auto& a, const auto& b) {
+        return a.second.size() < b.second.size();
+      });
+
+  ProcSet essential_set{sys.num_processes()};
+  for (const ProcId p : essential) essential_set.add(p);
+  ProcSet active_set{sys.num_processes()};
+  for (const ProcId p : active) active_set.add(p);
+
+  const auto erase_all_but = [&](const std::vector<ProcId>& keep_essential,
+                                 ProcId keep_halted) {
+    ProcSet keep{sys.num_processes()};
+    for (const ProcId p : keep_essential) keep.add(p);
+    for (const ProcId p : essential) {
+      if (!keep.contains(p) && p != keep_halted) plan.to_erase.push_back(p);
+    }
+  };
+  constexpr ProcId kNone = UINT32_MAX;
+
+  if (largest->second.size() <= sqrt_m) {
+    // ---- Low contention: distinct objects, independent-set pruning.
+    plan.contention = MaxRegIteration::Case::kLowContention;
+    std::vector<std::pair<ProcId, ObjectId>> candidates;
+    candidates.reserve(groups.size());
+    for (const auto& [obj, procs] : groups) {
+      candidates.emplace_back(procs.front(), obj);  // arbitrary pick: min id
+    }
+    plan.next_essential =
+        independent_set(candidates, know, sys.num_processes());
+    plan.schedule = plan.next_essential;
+    erase_all_but(plan.next_essential, kNone);
+    return plan;
+  }
+
+  // ---- High contention at object o.
+  const ObjectId o = largest->first;
+  const std::vector<ProcId>& group = largest->second;
+  std::vector<ProcId> cas_changing;
+  std::vector<ProcId> writes;
+  std::vector<ProcId> quiet;  // reads and trivial CASes
+  for (const ProcId p : group) {
+    const Pending* pending = sys.enabled(p);
+    if (pending->prim == Prim::kWrite) {
+      writes.push_back(p);
+    } else if (pending->prim == Prim::kCas && sys.pending_would_change(p)) {
+      cas_changing.push_back(p);
+    } else {
+      quiet.push_back(p);
+    }
+  }
+  // S = F(o, E_i) ∩ Ee: the (at most one) active essential process the
+  // contended object is familiar with.
+  const std::vector<ProcId> familiar =
+      know.familiarity[o].intersection(active_set);
+
+  const auto in = [](const std::vector<ProcId>& v, ProcId p) {
+    return std::find(v.begin(), v.end(), p) != v.end();
+  };
+
+  if (cas_changing.size() >= writes.size() &&
+      cas_changing.size() >= quiet.size()) {
+    // Sub-case 1: pl (min id) CASes first and is halted; the rest become
+    // trivial.  (If an erased process's write held o's current value, pl's
+    // CAS may turn out trivial post-erasure -- harmless: then *every* CAS
+    // is trivial, which is even quieter; the invariant checks confirm.)
+    plan.contention = MaxRegIteration::Case::kHighCas;
+    const ProcId pl = cas_changing.front();
+    for (const ProcId p : cas_changing) {
+      if (p != pl && !in(familiar, p)) plan.next_essential.push_back(p);
+    }
+    plan.schedule.push_back(pl);
+    plan.schedule.insert(plan.schedule.end(), plan.next_essential.begin(),
+                         plan.next_essential.end());
+    erase_all_but(plan.next_essential, pl);
+    plan.halts = true;
+  } else if (writes.size() >= quiet.size()) {
+    // Sub-case 2: everyone writes; pl (min id) writes last and hides them
+    // all (Definition 1); pl is halted.
+    plan.contention = MaxRegIteration::Case::kHighWrite;
+    const ProcId pl = writes.front();
+    for (const ProcId p : writes) {
+      if (p != pl) plan.next_essential.push_back(p);
+    }
+    plan.schedule = plan.next_essential;
+    plan.schedule.push_back(pl);
+    erase_all_but(plan.next_essential, pl);
+    plan.halts = true;
+  } else {
+    // Sub-case 3: reads and trivial CASes; all invisible.
+    plan.contention = MaxRegIteration::Case::kHighRead;
+    for (const ProcId p : quiet) {
+      if (!in(familiar, p)) plan.next_essential.push_back(p);
+    }
+    plan.schedule = plan.next_essential;
+    erase_all_but(plan.next_essential, kNone);
+  }
+  return plan;
+}
+
+/// Definitions 5-7 checked literally on the rebuilt execution.
+std::string check_invariants(const System& sys, const KnowledgeSets& know,
+                             const std::vector<ProcId>& essential,
+                             std::uint64_t expected_steps) {
+  ProcSet essential_set{sys.num_processes()};
+  for (const ProcId p : essential) essential_set.add(p);
+  // Hidden, part 1: no other process is aware of an essential process.
+  for (ProcId q = 0; q < sys.num_processes(); ++q) {
+    for (const ProcId p : essential) {
+      if (q != p && know.awareness[q].contains(p)) {
+        return "hidden violated: p" + std::to_string(q) + " aware of p" +
+               std::to_string(p);
+      }
+    }
+  }
+  // Hidden, part 2: every object familiar with at most one essential proc.
+  for (std::size_t o = 0; o < sys.num_objects(); ++o) {
+    const auto overlap = know.familiarity[o].intersection(essential_set);
+    if (overlap.size() > 1) {
+      return "object o" + std::to_string(o) + " familiar with " +
+             std::to_string(overlap.size()) + " essential processes";
+    }
+  }
+  // Supreme: every non-essential process that issued events has a smaller
+  // id than every essential process.
+  ProcId min_essential = UINT32_MAX;
+  for (const ProcId p : essential) min_essential = std::min(min_essential, p);
+  std::vector<bool> appears(sys.num_processes(), false);
+  for (const auto& e : sys.trace()) appears[e.proc] = true;
+  for (ProcId q = 0; q < sys.num_processes(); ++q) {
+    if (appears[q] && !essential_set.contains(q) && q > min_essential) {
+      return "supreme violated: non-essential p" + std::to_string(q) +
+             " outranks essential p" + std::to_string(min_essential);
+    }
+  }
+  // i-step: every essential process issued exactly i events.
+  for (const ProcId p : essential) {
+    if (sys.steps_taken(p) != expected_steps) {
+      return "step-count violated: p" + std::to_string(p) + " has " +
+             std::to_string(sys.steps_taken(p)) + " steps, expected " +
+             std::to_string(expected_steps);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool MaxRegIteration::size_bound_held() const noexcept {
+  const double m = static_cast<double>(active_before);
+  const double bound = std::sqrt(m) / 3.0 - 2.0;
+  return static_cast<double>(essential_after) >= bound;
+}
+
+const char* to_string(MaxRegIteration::Case c) noexcept {
+  switch (c) {
+    case MaxRegIteration::Case::kLowContention:
+      return "low";
+    case MaxRegIteration::Case::kHighCas:
+      return "high/cas";
+    case MaxRegIteration::Case::kHighWrite:
+      return "high/write";
+    case MaxRegIteration::Case::kHighRead:
+      return "high/read";
+  }
+  return "?";
+}
+
+MaxRegAdversaryReport run_maxreg_adversary(
+    const simalgos::MaxRegProgram& target,
+    const MaxRegAdversaryOptions& options) {
+  MaxRegAdversaryReport report;
+  report.k = target.num_writers + 1;
+
+  auto sys = std::make_unique<System>(target.program);
+  std::vector<ProcId> essential;  // E_0 = all writers (0-step essential set)
+  essential.reserve(target.num_writers);
+  for (ProcId p = 0; p < target.num_writers; ++p) essential.push_back(p);
+  std::vector<bool> erased(target.program.num_processes(), false);
+
+  for (;;) {
+    std::vector<ProcId> active;
+    std::size_t completed = 0;
+    for (const ProcId p : essential) {
+      if (sys->active(p)) {
+        active.push_back(p);
+      } else {
+        ++completed;
+      }
+    }
+    if (2 * completed >= essential.size() && !essential.empty()) {
+      report.stop_reason = "half of the essential set completed (Lemma 6)";
+      break;
+    }
+    if (active.size() < options.min_active) {
+      report.stop_reason = "active essential set below floor";
+      break;
+    }
+    if (report.iterations_completed >= options.max_iterations) {
+      report.stop_reason = "iteration cap";
+      break;
+    }
+
+    const KnowledgeSets know = sim::recompute_knowledge(
+        sys->trace(), sys->num_processes(), sys->num_objects());
+    Plan plan = make_plan(*sys, know, essential, active);
+
+    MaxRegIteration rec;
+    rec.index = report.iterations_completed + 1;
+    rec.contention = plan.contention;
+    rec.active_before = active.size();
+    rec.essential_after = plan.next_essential.size();
+    rec.erased = plan.to_erase.size();
+    rec.halted = plan.halts;
+
+    // Erase (Claim 1) and revalidate by replay.
+    for (const ProcId p : plan.to_erase) erased[p] = true;
+    const Trace kept = sim::erase_processes(sys->trace(), erased);
+    sys = std::make_unique<System>(target.program);
+    const sim::ReplayResult replay =
+        sim::replay_trace(*sys, kept, /*check_responses=*/true);
+    rec.replay_ok = replay.ok;
+    if (!replay.ok) {
+      rec.diagnostic = "replay: " + replay.message;
+      report.all_replays_ok = false;
+      report.iterations.push_back(std::move(rec));
+      report.stop_reason = "replay mismatch";
+      break;
+    }
+
+    // Extend: one step per scheduled process, in plan order.
+    for (const ProcId p : plan.schedule) sys->step(p);
+
+    essential = plan.next_essential;
+    ++report.iterations_completed;
+
+    std::size_t done_now = 0;
+    for (const ProcId p : essential) {
+      if (!sys->active(p)) ++done_now;
+    }
+    rec.completed_essential = done_now;
+
+    const KnowledgeSets after = sim::recompute_knowledge(
+        sys->trace(), sys->num_processes(), sys->num_objects());
+    const std::string diag = check_invariants(
+        *sys, after, essential, report.iterations_completed);
+    rec.invariants_ok = diag.empty();
+    if (!diag.empty()) {
+      rec.diagnostic = diag;
+      report.all_invariants_ok = false;
+    }
+    if (!rec.size_bound_held()) report.all_size_bounds_ok = false;
+    report.iterations.push_back(std::move(rec));
+    if (!report.all_invariants_ok) {
+      report.stop_reason = "invariant violated";
+      break;
+    }
+  }
+
+  report.final_essential = essential.size();
+
+  // Lemma 5/6 probe: the reader runs solo; its answer must cover every
+  // completed WriteMax (writer p writes operand p+1) and never exceed the
+  // largest started one.
+  sim::run_solo(*sys, target.reader, 1u << 24);
+  report.reader_steps = sys->steps_taken(target.reader);
+  report.reader_value = sys->result(target.reader);
+  Value max_completed = kNoValue;
+  Value max_started = kNoValue;
+  for (ProcId p = 0; p < target.num_writers; ++p) {
+    const Value operand = static_cast<Value>(p) + 1;
+    if (sys->steps_taken(p) > 0) max_started = std::max(max_started, operand);
+    if (sys->steps_taken(p) > 0 && !sys->active(p)) {
+      max_completed = std::max(max_completed, operand);
+    }
+  }
+  report.reader_ok = report.reader_value >= max_completed &&
+                     report.reader_value <= std::max(max_started, kNoValue);
+  return report;
+}
+
+}  // namespace ruco::adversary

@@ -1,0 +1,31 @@
+#include "ruco/counter/kcas_counter.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ruco::counter {
+
+KcasCounter::KcasCounter(std::uint32_t num_processes)
+    : n_{num_processes}, cells_{num_processes + 1, 0, num_processes} {
+  if (num_processes == 0) {
+    throw std::invalid_argument{"KcasCounter: 0 processes"};
+  }
+}
+
+Value KcasCounter::read(ProcId proc) { return cells_.read(proc, 0); }
+
+Value KcasCounter::mine(ProcId proc) { return cells_.read(proc, 1 + proc); }
+
+void KcasCounter::increment(ProcId proc) {
+  assert(proc < n_);
+  for (;;) {
+    const Value slot = cells_.read(proc, 1 + proc);
+    const Value total = cells_.read(proc, 0);
+    if (cells_.dcas(proc, kcas::McasWord{1 + proc, slot, slot + 1},
+                    kcas::McasWord{0, total, total + 1})) {
+      return;
+    }
+  }
+}
+
+}  // namespace ruco::counter

@@ -1,0 +1,65 @@
+#include "ruco/counter/maxreg_counter.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "ruco/runtime/stepcount.h"
+
+namespace ruco::counter {
+
+MaxRegCounter::MaxRegCounter(std::uint32_t num_processes, Value max_increments)
+    : n_{num_processes},
+      bound_{max_increments + 1},
+      shape_{util::complete_shape(num_processes)},
+      nodes_(shape_.node_count()),
+      leaf_counts_(num_processes, runtime::PaddedAtomic<Value>{0}) {
+  if (max_increments < 1) {
+    throw std::invalid_argument{"MaxRegCounter: max_increments < 1"};
+  }
+  for (util::TreeShape::NodeId id = 0; id < shape_.node_count(); ++id) {
+    if (!shape_.is_leaf(id)) {
+      nodes_[id] = std::make_unique<maxreg::AacMaxRegister>(bound_);
+    }
+  }
+}
+
+Value MaxRegCounter::node_value(ProcId proc,
+                                util::TreeShape::NodeId node) const {
+  if (shape_.is_leaf(node)) {
+    runtime::step_tick();
+    return leaf_counts_[shape_.leaf_index(node)].value.load();
+  }
+  const Value v = nodes_[node]->read_max(proc);
+  return v == kNoValue ? 0 : v;
+}
+
+Value MaxRegCounter::read(ProcId proc) const {
+  return node_value(proc, shape_.root());
+}
+
+void MaxRegCounter::increment(ProcId proc) {
+  assert(proc < n_);
+  const auto leaf = shape_.leaf(proc);
+  runtime::step_tick();
+  const Value mine = leaf_counts_[proc].value.load() + 1;
+  if (mine >= bound_) {
+    throw std::length_error{"MaxRegCounter: restricted-use bound exceeded"};
+  }
+  runtime::step_tick();
+  leaf_counts_[proc].value.store(mine);
+  // Refresh every ancestor bottom-up: WriteMax(sum of the two children).
+  // The max register absorbs racing refreshes (only the largest survives),
+  // which is exactly why Aspnes et al. use max registers and not plain
+  // registers here.
+  for (auto node = shape_.parent(leaf); node != util::TreeShape::kNil;
+       node = shape_.parent(node)) {
+    const Value sum = node_value(proc, shape_.left(node)) +
+                      node_value(proc, shape_.right(node));
+    if (sum >= bound_) {
+      throw std::length_error{"MaxRegCounter: restricted-use bound exceeded"};
+    }
+    nodes_[node]->write_max(proc, sum);
+  }
+}
+
+}  // namespace ruco::counter

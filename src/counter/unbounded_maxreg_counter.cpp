@@ -1,0 +1,52 @@
+#include "ruco/counter/unbounded_maxreg_counter.h"
+
+#include <cassert>
+
+#include "ruco/runtime/stepcount.h"
+
+namespace ruco::counter {
+
+UnboundedMaxRegCounter::UnboundedMaxRegCounter(std::uint32_t num_processes,
+                                               std::uint32_t max_groups)
+    : n_{num_processes},
+      shape_{util::complete_shape(num_processes)},
+      nodes_(shape_.node_count()),
+      leaf_counts_(num_processes, runtime::PaddedAtomic<Value>{0}) {
+  for (util::TreeShape::NodeId id = 0; id < shape_.node_count(); ++id) {
+    if (!shape_.is_leaf(id)) {
+      nodes_[id] =
+          std::make_unique<maxreg::UnboundedAacMaxRegister>(max_groups);
+    }
+  }
+}
+
+Value UnboundedMaxRegCounter::node_value(ProcId proc,
+                                         util::TreeShape::NodeId node) const {
+  if (shape_.is_leaf(node)) {
+    runtime::step_tick();
+    return leaf_counts_[shape_.leaf_index(node)].value.load();
+  }
+  const Value v = nodes_[node]->read_max(proc);
+  return v == kNoValue ? 0 : v;
+}
+
+Value UnboundedMaxRegCounter::read(ProcId proc) const {
+  return node_value(proc, shape_.root());
+}
+
+void UnboundedMaxRegCounter::increment(ProcId proc) {
+  assert(proc < n_);
+  const auto leaf = shape_.leaf(proc);
+  runtime::step_tick();
+  const Value mine = leaf_counts_[proc].value.load() + 1;
+  runtime::step_tick();
+  leaf_counts_[proc].value.store(mine);
+  for (auto node = shape_.parent(leaf); node != util::TreeShape::kNil;
+       node = shape_.parent(node)) {
+    const Value left_sum = node_value(proc, shape_.left(node));
+    const Value right_sum = node_value(proc, shape_.right(node));
+    nodes_[node]->write_max(proc, left_sum + right_sum);
+  }
+}
+
+}  // namespace ruco::counter

@@ -1,0 +1,46 @@
+// The Theorem 1 construction, executable: starve N-1 concurrent
+// CounterIncrement operations with Lemma 1 rounds, bounding how fast
+// information spreads, then let a fresh process read the counter.
+//
+// The theorem:  if CounterRead takes O(f(N)) steps, CounterIncrement takes
+// Omega(log(N / f(N))) steps.  The construction shows why: after j rounds
+// every familiarity set has at most 3^j members; a reader touching at most
+// f(N) objects can learn about at most f(N) * 3^j processes; but a correct
+// CounterRead after all N-1 increments must (Lemma 3) become aware of all
+// N processes -- so the increments cannot all finish before
+// round log_3(N / f(N)).
+//
+// run_counter_adversary executes the rounds until every incrementer
+// finishes, recording M(E_j) per round (checking M(E_j) <= 3^j), then runs
+// the reader solo and reports its step count, response, awareness-set size
+// and distinct objects touched -- everything the proof of Theorem 1 and
+// Lemma 3 talks about, measured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/simalgos/programs.h"
+
+namespace ruco::adversary {
+
+struct CounterAdversaryReport {
+  std::uint32_t n = 0;        // processes (incrementers + reader)
+  std::uint64_t rounds = 0;   // Lemma 1 rounds until all increments complete
+  std::vector<std::size_t> knowledge_per_round;  // M(E_j), j = 1..rounds
+  bool knowledge_bound_held = true;              // every M(E_j) <= 3^j
+  std::uint64_t max_increment_steps = 0;  // steps of the slowest incrementer
+  /// Reader (Lemma 3's p_N), run solo after all increments completed:
+  std::uint64_t reader_steps = 0;
+  Value reader_value = kNoValue;
+  bool reader_correct = false;           // returned exactly N-1
+  std::size_t reader_awareness = 0;      // |AW(p_N)| afterwards
+  std::size_t reader_distinct_objects = 0;
+};
+
+CounterAdversaryReport run_counter_adversary(
+    const simalgos::CounterProgram& target, std::uint64_t max_rounds = 1u
+                                                                       << 20);
+
+}  // namespace ruco::adversary

@@ -1,0 +1,38 @@
+// The schedule sigma(E, S) of Lemma 1: given a set of enabled events, apply
+// them in the order  (reads, trivial CASes, trivial writes) -> (writes) ->
+// (CASes), which guarantees the maximum awareness/familiarity set size at
+// most triples:  M(E sigma) <= 3 M(E).
+//
+// Within the write phase, only the last write per object stays visible
+// (Definition 1); within the CAS phase, at most the first CAS per object is
+// visible (it either hits an object freshened by the write phase -- all
+// trivial -- or succeeds and trivializes the rest).  This is the engine of
+// the Theorem 1 construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/sim/system.h"
+
+namespace ruco::adversary {
+
+struct LemmaOneRound {
+  std::size_t scheduled = 0;         // events applied this round
+  std::size_t knowledge_before = 0;  // M(E)
+  std::size_t knowledge_after = 0;   // M(E sigma)
+  /// The bound of Lemma 1 held for this round.
+  [[nodiscard]] bool bound_held() const noexcept {
+    return knowledge_after <= 3 * std::max<std::size_t>(knowledge_before, 1);
+  }
+};
+
+/// Applies one enabled event of every process in `candidates` that has one,
+/// in the Lemma 1 order.  Triviality is classified against the values
+/// before the round (as in the lemma: all of sigma_1 is invisible, so the
+/// classification stays valid while it runs).
+LemmaOneRound lemma_one_round(sim::System& sys,
+                              const std::vector<ProcId>& candidates);
+
+}  // namespace ruco::adversary

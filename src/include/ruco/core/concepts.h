@@ -1,0 +1,35 @@
+// Concepts describing the three restricted-use object families, used by the
+// generic benchmarks, the linearizability test harness and user code that
+// wants to be implementation-agnostic.
+#pragma once
+
+#include <concepts>
+#include <vector>
+
+#include "ruco/core/types.h"
+
+namespace ruco {
+
+/// WriteMax(v) / ReadMax per Hendler & Khait Section 2.  All operations take
+/// the caller's process id; implementations that do not need it ignore it.
+template <typename T>
+concept MaxRegisterLike = requires(T t, const T ct, ProcId p, Value v) {
+  t.write_max(p, v);
+  { ct.read_max(p) } -> std::same_as<Value>;
+};
+
+/// CounterIncrement / CounterRead per Section 2.
+template <typename T>
+concept CounterLike = requires(T t, ProcId p) {
+  t.increment(p);
+  { t.read(p) } -> std::same_as<Value>;
+};
+
+/// Single-writer snapshot: Update own segment / Scan all segments.
+template <typename T>
+concept SnapshotLike = requires(T t, ProcId p, Value v) {
+  t.update(p, v);
+  { t.scan(p) } -> std::same_as<std::vector<Value>>;
+};
+
+}  // namespace ruco

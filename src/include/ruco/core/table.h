@@ -1,0 +1,80 @@
+// Minimal fixed-column table printer for the figure benchmarks and
+// examples: prints GitHub-flavoured markdown so bench output can be pasted
+// straight into EXPERIMENTS.md.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ruco {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Convenience: stream any mix of printables as one row.
+  template <typename... Ts>
+  Table& add(const Ts&... cells) {
+    std::vector<std::string> out;
+    (out.push_back(to_cell(cells)), ...);
+    return row(std::move(out));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    print_row(os, headers_, width);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (const auto w : width) rule.push_back(std::string(w, '-'));
+    print_row(os, rule, width);
+    for (const auto& r : rows_) print_row(os, r, width);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string{v};
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(2) << v;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << v;
+      return ss.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& r,
+                        const std::vector<std::size_t>& width) {
+    os << '|';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ruco

@@ -1,0 +1,20 @@
+// Common value and identifier types for all implemented objects.
+#pragma once
+
+#include <cstdint>
+
+namespace ruco {
+
+/// The value domain of every implemented object.  Max registers only accept
+/// non-negative operands; kNoValue plays the role of the paper's initial
+/// value "-inf".
+using Value = std::int64_t;
+
+/// Process (thread) identifier in [0, N).
+using ProcId = std::uint32_t;
+
+/// Initial value of a max register before any WriteMax ("-inf" in the
+/// paper).  ReadMax on a fresh register returns kNoValue.
+inline constexpr Value kNoValue = -1;
+
+}  // namespace ruco

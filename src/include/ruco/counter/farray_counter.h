@@ -1,0 +1,44 @@
+// Jayanti-style f-array counter (PODC'02 "f-arrays", reference [14] of
+// Hendler & Khait), adapted from LL/SC to CAS with the same double-CAS
+// propagation Algorithm A uses:
+//   CounterRead      : O(1) steps (read the root sum), and
+//   CounterIncrement : O(log N) steps (bump own leaf, re-aggregate the path).
+//
+// This is the read-optimal counter the paper's Theorem 1 shows is
+// update-optimal too: with f(N) = O(1) reads, increments must cost
+// Omega(log N) -- exactly what this object pays.  Sums of single-writer,
+// non-decreasing leaves are monotone, so the CAS substitution is ABA-free
+// (see propagate.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/runtime/padded.h"
+#include "ruco/util/tree_shape.h"
+
+namespace ruco::counter {
+
+class FArrayCounter {
+ public:
+  explicit FArrayCounter(std::uint32_t num_processes);
+
+  /// Number of increments linearized so far.  One step.
+  [[nodiscard]] Value read(ProcId proc) const;
+
+  /// Adds one to the count on behalf of process `proc`.  O(log N) steps.
+  void increment(ProcId proc);
+
+  [[nodiscard]] std::uint32_t num_processes() const noexcept { return n_; }
+
+ private:
+  std::uint32_t n_;
+  util::TreeShape shape_;
+  std::vector<runtime::PaddedAtomic<Value>> values_;
+  // Process-local mirror of the (single-writer) leaf: saves the leaf read.
+  // Padded so neighbouring processes' mirrors do not false-share.
+  std::vector<runtime::PaddedAtomic<Value>> local_count_;
+};
+
+}  // namespace ruco::counter

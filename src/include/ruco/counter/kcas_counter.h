@@ -1,0 +1,39 @@
+// Counter from software 2-CAS (kcas::McasArray): increment retries a
+// double-word CAS over (own slot, shared total); read is one linearizable
+// cell read.  The production twin of simalgos::SimKcasCounter.
+//
+// Where it sits against the paper: the 2-CAS is itself built from
+// single-word CAS, so in base-object steps an uncontended increment costs
+// ~9 (the MCAS machinery), and the worst case is *unbounded* -- the object
+// is lock-free, not wait-free, and the Theorem 1 adversary starves it
+// (see bench_thm1_adversary).  Theorem 1's Omega(log(N/f)) worst-case bound
+// is therefore comfortably satisfied; what this object buys is the
+// *uncontended* fast path, the tradeoff a practitioner actually weighs.
+#pragma once
+
+#include <cstdint>
+
+#include "ruco/core/types.h"
+#include "ruco/kcas/mcas.h"
+
+namespace ruco::counter {
+
+class KcasCounter {
+ public:
+  explicit KcasCounter(std::uint32_t num_processes);
+
+  /// One (helping) linearizable read of the total cell.
+  [[nodiscard]] Value read(ProcId proc);
+
+  /// Retries a 2-CAS over (own slot, total) until it lands.  Lock-free.
+  void increment(ProcId proc);
+
+  /// This process's own contribution (single-writer slot).
+  [[nodiscard]] Value mine(ProcId proc);
+
+ private:
+  std::uint32_t n_;
+  kcas::McasArray cells_;  // [0] = total, [1 + p] = process p's slot
+};
+
+}  // namespace ruco::counter

@@ -1,0 +1,62 @@
+// The Aspnes-Attiya-Censor-Hillel restricted-use counter (J.ACM 2012,
+// reference [2]): a complete binary tree over the N processes where each
+// internal node is an M-bounded AAC max register holding (a lower bound on)
+// the number of increments in its subtree, built from reads and writes only.
+//
+//   CounterRead      : ReadMax(root)            = O(log U) = O(log N) steps
+//   CounterIncrement : log N levels x (2 child reads + 1 WriteMax)
+//                                               = O(log N * log U)
+//                                               = O(log^2 N) steps,
+// for U = poly(N) total increments ("restricted use").
+//
+// Against Theorem 1's frontier: reads cost f(N) = Theta(log N) (optimal per
+// Aspnes et al.), so increments must cost Omega(log(N / log N)) =
+// Omega(log N) -- this implementation pays Theta(log^2 N), a log N factor
+// above the bound, and closing that gap is exactly the open question the
+// paper's introduction poses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/maxreg/aac_max_register.h"
+#include "ruco/runtime/padded.h"
+#include "ruco/util/tree_shape.h"
+
+namespace ruco::counter {
+
+class MaxRegCounter {
+ public:
+  /// `max_increments` is the restricted-use bound U: behaviour is specified
+  /// only while the total number of increments stays at or below it
+  /// (increment throws std::length_error past the bound, making misuse loud
+  /// rather than silently unspecified).
+  MaxRegCounter(std::uint32_t num_processes, Value max_increments);
+
+  /// Number of increments linearized so far.  O(log U) steps.
+  [[nodiscard]] Value read(ProcId proc) const;
+
+  /// O(log N * log U) steps.
+  void increment(ProcId proc);
+
+  [[nodiscard]] std::uint32_t num_processes() const noexcept { return n_; }
+  [[nodiscard]] Value max_increments() const noexcept { return bound_ - 1; }
+
+ private:
+  /// Reads the value a node contributes: leaf counts are plain registers,
+  /// internal counts are max registers.
+  [[nodiscard]] Value node_value(ProcId proc, util::TreeShape::NodeId n) const;
+
+  std::uint32_t n_;
+  Value bound_;  // max register bound: max_increments + 1
+  util::TreeShape shape_;
+  // Internal nodes: an AAC max register each (indexed by NodeId; leaf slots
+  // stay null).  unique_ptr because AacMaxRegister is not movable (atomics).
+  std::vector<std::unique_ptr<maxreg::AacMaxRegister>> nodes_;
+  // Leaves: per-process increment counts (single-writer registers).
+  std::vector<runtime::PaddedAtomic<Value>> leaf_counts_;
+};
+
+}  // namespace ruco::counter

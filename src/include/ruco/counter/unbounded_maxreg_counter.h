@@ -1,0 +1,50 @@
+// The AAC counter with *value-sensitive* cost and no preset use bound:
+// identical tree-of-max-registers structure to counter::MaxRegCounter, but
+// the internal nodes are UnboundedAacMaxRegister (AAC composed along a
+// Bentley-Yao spine) instead of M-bounded registers.  With C increments
+// performed so far:
+//
+//   CounterRead      : O(log C) steps
+//   CounterIncrement : O(log N * log C) steps
+//
+// -- "restricted use" becomes a property of the execution (costs grow with
+// the count actually reached) rather than a constructor parameter.  Still
+// reads and writes only.  The memory envelope of the unbounded registers
+// (2^26-ish values) is the only hard limit, and it is loud.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/maxreg/unbounded_aac_max_register.h"
+#include "ruco/runtime/padded.h"
+#include "ruco/util/tree_shape.h"
+
+namespace ruco::counter {
+
+class UnboundedMaxRegCounter {
+ public:
+  explicit UnboundedMaxRegCounter(std::uint32_t num_processes,
+                                  std::uint32_t max_groups = 20);
+
+  /// Number of increments linearized so far.  O(log current-count) steps.
+  [[nodiscard]] Value read(ProcId proc) const;
+
+  /// O(log N * log current-count) steps.
+  void increment(ProcId proc);
+
+  [[nodiscard]] std::uint32_t num_processes() const noexcept { return n_; }
+
+ private:
+  [[nodiscard]] Value node_value(ProcId proc,
+                                 util::TreeShape::NodeId node) const;
+
+  std::uint32_t n_;
+  util::TreeShape shape_;
+  std::vector<std::unique_ptr<maxreg::UnboundedAacMaxRegister>> nodes_;
+  std::vector<runtime::PaddedAtomic<Value>> leaf_counts_;
+};
+
+}  // namespace ruco::counter

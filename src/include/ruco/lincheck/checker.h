@@ -1,0 +1,155 @@
+// Wing-Gong linearizability checker with memoization (the P-compositional
+// refinement of the classic search): decide whether a concurrent history
+// has a linearization legal under a sequential Spec.
+//
+// Search state = (set of linearized ops, spec state); at each step any
+// operation whose every real-time predecessor is already linearized may be
+// linearized next, provided its recorded response is legal.  Visited
+// (set, state) pairs are memoized, which collapses the factorial search to
+// the subset lattice for the scalar-state specs used here.
+//
+// Pending operations (invoked, never returned) are handled per Herlihy &
+// Wing: each may be linearized (with unconstrained response) or omitted.
+// The search succeeds when every *completed* operation is linearized.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ruco/lincheck/history.h"
+
+namespace ruco::lincheck {
+
+struct LinCheckResult {
+  bool linearizable = false;
+  bool decided = true;  // false if the state budget was exhausted
+  std::uint64_t states_explored = 0;
+  std::string message;
+  /// On success: indices into history.ops in a legal linearization order
+  /// (pending operations appear only if the witness linearized them).
+  std::vector<std::size_t> witness;
+};
+
+namespace detail {
+
+/// Dynamic bitset over op indices with FNV hashing.
+class OpSet {
+ public:
+  explicit OpSet(std::size_t n) : words_((n + 63) / 64, 0) {}
+  void add(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void remove(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool contains(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  [[nodiscard]] std::size_t hash() const {
+    std::size_t h = 1469598103934665603ull;
+    for (const auto w : words_) {
+      h ^= static_cast<std::size_t>(w);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+  friend bool operator==(const OpSet&, const OpSet&) = default;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace detail
+
+template <typename Spec>
+[[nodiscard]] LinCheckResult check_linearizable(
+    const History& history, const Spec& spec,
+    std::uint64_t max_states = 5'000'000) {
+  using State = typename Spec::State;
+  const auto& ops = history.ops;
+  const std::size_t n = ops.size();
+
+  // preds_left[i]: how many unlinearized ops really precede op i.
+  std::vector<std::uint32_t> preds_left(n, 0);
+  std::vector<std::vector<std::uint32_t>> succs(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b && ops[a].precedes(ops[b])) {
+        succs[a].push_back(static_cast<std::uint32_t>(b));
+        ++preds_left[b];
+      }
+    }
+  }
+  std::size_t completed = 0;
+  for (const auto& op : ops) completed += op.pending() ? 0 : 1;
+
+  struct Key {
+    detail::OpSet set;
+    State state;
+    std::size_t h;
+    bool operator==(const Key& other) const {
+      return h == other.h && set == other.set && state == other.state;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const { return k.h; }
+  };
+  std::unordered_set<Key, KeyHash> memo;
+  LinCheckResult result;
+
+  detail::OpSet done{n};
+  // Recursive lambda via Y-combinator-ish struct to avoid std::function.
+  struct Search {
+    const std::vector<OpRecord>& ops;
+    const Spec& spec;
+    std::vector<std::uint32_t>& preds_left;
+    const std::vector<std::vector<std::uint32_t>>& succs;
+    std::unordered_set<Key, KeyHash>& memo;
+    LinCheckResult& result;
+    std::uint64_t max_states;
+
+    bool run(detail::OpSet& done, const State& state,
+             std::size_t remaining_completed) {
+      if (remaining_completed == 0) return true;
+      if (result.states_explored >= max_states) {
+        result.decided = false;
+        return false;
+      }
+      ++result.states_explored;
+      Key key{done, state, 0};
+      key.h = done.hash() * 31 + Spec::hash(state);
+      if (!memo.insert(key).second) return false;
+
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (done.contains(i) || preds_left[i] != 0) continue;
+        const std::optional<State> next = spec.apply(state, ops[i]);
+        if (!next) continue;
+        done.add(i);
+        result.witness.push_back(i);
+        for (const auto s : succs[i]) --preds_left[s];
+        const bool ok =
+            run(done, *next,
+                remaining_completed - (ops[i].pending() ? 0 : 1));
+        for (const auto s : succs[i]) ++preds_left[s];
+        done.remove(i);
+        if (ok) return true;
+        result.witness.pop_back();
+      }
+      return false;
+    }
+  };
+
+  Search search{ops,  spec,   preds_left, succs,
+                memo, result, max_states};
+  result.linearizable = search.run(done, spec.initial(), completed);
+  if (!result.linearizable) result.witness.clear();
+  if (!result.decided) {
+    result.message = "state budget exhausted before a decision";
+  } else if (!result.linearizable) {
+    result.message = "no legal linearization exists";
+  }
+  return result;
+}
+
+}  // namespace ruco::lincheck

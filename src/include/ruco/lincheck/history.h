@@ -1,0 +1,88 @@
+// Operation histories for linearizability checking (Herlihy & Wing, the
+// paper's correctness criterion for Theorem 5).
+//
+// A History is a set of operation records with invocation/response
+// timestamps; op A precedes op B iff A returned before B was invoked
+// (partial real-time order).  Histories come from two sources:
+//
+//   * sim::System::history() -- deterministic simulated executions
+//     (from_sim_history);
+//   * lincheck::Recorder -- real threaded runs, stamped with a global
+//     atomic clock (sound: the response stamp is taken after the operation
+//     returned, the invocation stamp before it started, so every recorded
+//     precedence really happened).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/runtime/padded.h"
+#include "ruco/sim/system.h"
+
+namespace ruco::lincheck {
+
+inline constexpr std::uint64_t kPendingTime = UINT64_MAX;
+
+struct OpRecord {
+  ProcId proc = 0;
+  std::string op;  // e.g. "WriteMax", "ReadMax", "CounterIncrement", "Scan"
+  Value arg = 0;
+  Value ret = 0;
+  std::vector<Value> ret_vec;  // Scan results; empty for scalar ops
+  std::uint64_t invoked = 0;
+  std::uint64_t returned = kPendingTime;  // kPendingTime: no response
+
+  [[nodiscard]] bool pending() const noexcept {
+    return returned == kPendingTime;
+  }
+  /// Real-time precedence.
+  [[nodiscard]] bool precedes(const OpRecord& other) const noexcept {
+    return !pending() && returned < other.invoked;
+  }
+};
+
+struct History {
+  std::vector<OpRecord> ops;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+  [[nodiscard]] std::size_t pending_count() const noexcept;
+  /// Drops operations that never returned.  Only sound for read-like ops
+  /// (an unreturned update may still have taken effect); the checker
+  /// handles pending ops natively, so prefer leaving them in.
+  [[nodiscard]] History without_pending() const;
+};
+
+/// Pairs the invoke/return annotations of a simulated execution (each
+/// process's operations are sequential) into a History.
+[[nodiscard]] History from_sim_history(
+    const std::vector<sim::HistoryEvent>& events);
+
+/// Thread-safe history recorder for real (std::thread) executions.
+class Recorder {
+ public:
+  explicit Recorder(std::size_t num_threads);
+
+  /// Call immediately before invoking the operation (from thread `t`).
+  /// Returns a slot token to pass to end().
+  std::size_t begin(ProcId t, std::string_view op, Value arg);
+  /// Scalar-result completion.
+  void end(ProcId t, std::size_t slot, Value ret);
+  /// Vector-result completion (Scan).
+  void end(ProcId t, std::size_t slot, std::vector<Value> ret_vec);
+
+  /// Merge all threads' records (call after joining workers).
+  [[nodiscard]] History harvest() const;
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  struct alignas(runtime::kCacheLine) Lane {
+    std::vector<OpRecord> records;
+  };
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace ruco::lincheck

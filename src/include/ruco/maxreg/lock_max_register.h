@@ -1,0 +1,23 @@
+// Mutex-protected max register: the blocking baseline.  Not in the paper's
+// model (a lock is not a read/write/CAS step-bounded object) -- included so
+// the throughput benchmarks can show where lock-free buys anything on real
+// hardware, and as a trivially-correct oracle in stress tests.
+#pragma once
+
+#include <mutex>
+
+#include "ruco/core/types.h"
+
+namespace ruco::maxreg {
+
+class LockMaxRegister {
+ public:
+  [[nodiscard]] Value read_max(ProcId proc) const;
+  void write_max(ProcId proc, Value v);
+
+ private:
+  mutable std::mutex mutex_;
+  Value value_ = kNoValue;
+};
+
+}  // namespace ruco::maxreg

@@ -1,0 +1,55 @@
+// The double-CAS propagation loop shared by Algorithm A's max register and
+// the f-array counter / snapshot (Hendler & Khait Algorithm A lines 3-9;
+// Jayanti's Tree Algorithm adapted from LL/SC to CAS).
+//
+// At every node on the path from `start` to the root, the caller's combine
+// function is evaluated over the two children and CASed into the node --
+// twice.  Two attempts suffice for linearizability of *monotone* aggregates
+// (max, sums of single-writer counters, version-ordered views): if our CAS
+// fails, a concurrent CAS succeeded, and its combine input was read after
+// our child update; if the second also fails, the interfering CAS read the
+// children after our first attempt, hence already covers our update (the
+// paper's Lemma 9 / Invariant 1 argument).  Monotonicity is what rules out
+// ABA, which is why the LL/SC -> CAS substitution is sound here.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/runtime/padded.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/util/tree_shape.h"
+
+namespace ruco::maxreg {
+
+/// Propagates from the *parent* of `start` up to the root of `shape`.
+/// `values[n]` is the atomic cell of node n; `combine(l, r)` computes the
+/// new aggregate from the two child values.  T must be trivially copyable
+/// and the sequence of values at every cell monotone under `combine`
+/// (see file comment).
+template <typename Shape, typename T, typename Combine>
+void propagate_twice(const Shape& shape,
+                     std::vector<runtime::PaddedAtomic<T>>& values,
+                     typename Shape::NodeId start, Combine&& combine) {
+  using NodeId = typename Shape::NodeId;
+  NodeId n = start;
+  while (shape.parent(n) != Shape::kNil) {
+    n = shape.parent(n);
+    const NodeId l = shape.left(n);
+    const NodeId r = shape.right(n);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      runtime::step_tick();
+      T old_value = values[n].value.load();
+      runtime::step_tick();
+      const T lv = values[l].value.load();
+      runtime::step_tick();
+      const T rv = values[r].value.load();
+      const T new_value = combine(lv, rv);
+      runtime::step_tick();
+      values[n].value.compare_exchange_strong(old_value, new_value);
+    }
+  }
+}
+
+}  // namespace ruco::maxreg

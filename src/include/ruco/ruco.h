@@ -1,0 +1,40 @@
+// Umbrella header for the ruco library: restricted-use concurrent objects
+// from Hendler & Khait, "Complexity Tradeoffs for Read and Update
+// Operations", PODC 2014, plus the substrates the paper builds on.
+//
+// Quick tour:
+//   maxreg::TreeMaxRegister   Algorithm A  (read O(1), write O(min(lgN,lgv)))
+//   maxreg::AacMaxRegister    read/write only, both ops O(log M)
+//   maxreg::UnboundedAacMaxRegister  rw-only, both ops O(log v)
+//   farray::FArray<Combine>   Jayanti f-array: aggregate O(1), update O(lgN)
+//   counter::FArrayCounter    read O(1), increment O(log N)
+//   counter::MaxRegCounter    read O(log N), increment O(log^2 N), rw-only
+//   snapshot::FArraySnapshot  scan O(1), update O(log N)
+//   snapshot::AfekSnapshot    wait-free from rw-only, O(N^2)
+//   sim::*                    the paper's execution model, executable
+//   adversary::*              the Theorem 1 / Theorem 3 lower-bound
+//                             constructions as runnable schedulers
+#pragma once
+
+#include "ruco/core/concepts.h"
+#include "ruco/core/types.h"
+#include "ruco/counter/farray_counter.h"
+#include "ruco/counter/fetch_add_counter.h"
+#include "ruco/counter/kcas_counter.h"
+#include "ruco/counter/maxreg_counter.h"
+#include "ruco/counter/snapshot_counter.h"
+#include "ruco/counter/unbounded_maxreg_counter.h"
+#include "ruco/farray/farray.h"
+#include "ruco/kcas/mcas.h"
+#include "ruco/maxreg/aac_max_register.h"
+#include "ruco/maxreg/cas_max_register.h"
+#include "ruco/maxreg/lock_max_register.h"
+#include "ruco/maxreg/tree_max_register.h"
+#include "ruco/maxreg/unbounded_aac_max_register.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/runtime/thread_harness.h"
+#include "ruco/snapshot/afek_snapshot.h"
+#include "ruco/snapshot/double_collect_snapshot.h"
+#include "ruco/snapshot/farray_snapshot.h"
+#include "ruco/util/stats.h"
+#include "ruco/util/tree_shape.h"

@@ -1,0 +1,37 @@
+// Cache-line padded atomic cell.  Tree nodes that different processes CAS
+// concurrently are padded to their own cache line to avoid false sharing;
+// the shape classes keep trees small enough (O(N) nodes) that the space
+// overhead is irrelevant next to the contention win.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace ruco::runtime {
+
+// Fixed at 64 (the value on every mainstream x86-64 / AArch64 part) rather
+// than std::hardware_destructive_interference_size, whose value is not ABI
+// stable across compiler flags (GCC warns on any ODR-relevant use).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A std::atomic<T> alone on its cache line.
+template <typename T>
+struct alignas(kCacheLine) PaddedAtomic {
+  std::atomic<T> value;
+
+  PaddedAtomic() noexcept : value{} {}
+  explicit PaddedAtomic(T init) noexcept : value{init} {}
+
+  // Vectors of nodes need copies only at construction time (single-threaded
+  // setup); relaxed is fine there.
+  PaddedAtomic(const PaddedAtomic& other) noexcept
+      : value{other.value.load(std::memory_order_relaxed)} {}
+  PaddedAtomic& operator=(const PaddedAtomic& other) noexcept {
+    value.store(other.value.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+}  // namespace ruco::runtime

@@ -1,0 +1,49 @@
+// Utilities for running N worker threads through a synchronized start:
+// a sense-reversing spin barrier and a fleet runner that joins on scope
+// exit (per C++ Core Guidelines CP.25: no detached threads anywhere).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ruco::runtime {
+
+/// Sense-reversing spin barrier for a fixed party count.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_{parties}, waiting_{0}, sense_{false} {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks (spinning) until all parties arrive.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_acquire);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_;
+  std::atomic<bool> sense_;
+};
+
+/// Runs `body(thread_index)` on `count` threads, synchronizing their start
+/// through a barrier, and joins them all before returning.  Exceptions from
+/// worker bodies terminate (workers are expected to be noexcept in spirit);
+/// tests use EXPECT_* result buffers instead of throwing across threads.
+void run_threads(std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace ruco::runtime

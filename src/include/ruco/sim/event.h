@@ -1,0 +1,73 @@
+// Events and enabled events ("pending" primitives) of the paper's execution
+// model (Section 2): a step is one application of read, write or CAS to a
+// base object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ruco/core/types.h"
+
+namespace ruco::sim {
+
+using ObjectId = std::uint32_t;
+
+enum class Prim : std::uint8_t { kRead, kWrite, kCas, kKcas };
+
+[[nodiscard]] const char* to_string(Prim p) noexcept;
+
+/// One word of a k-CAS: succeed iff every word matches its expected value,
+/// then install every desired value atomically.  k-CAS is the stronger
+/// primitive of Attiya & Hendler (reference [6] of the paper), whose
+/// generalized Lemma 1 the sim reproduces; it is NOT available to the
+/// paper's own theorems (which assume k = 1).
+struct KcasEntry {
+  ObjectId obj = 0;
+  Value expected = 0;
+  Value desired = 0;
+
+  friend bool operator==(const KcasEntry&, const KcasEntry&) = default;
+};
+
+/// The one enabled event of an active process (Section 2: "it has exactly
+/// one enabled event").  The adversary schedulers inspect these *before*
+/// deciding whom to run -- e.g. to tell which CAS events would succeed.
+struct Pending {
+  ObjectId obj = 0;
+  Prim prim = Prim::kRead;
+  Value arg = 0;       // write value / CAS desired
+  Value expected = 0;  // CAS expected
+  std::vector<KcasEntry> kcas;  // kKcas only; obj mirrors kcas[0].obj
+};
+
+/// An applied event, as recorded in the execution trace.
+struct Event {
+  ProcId proc = 0;
+  ObjectId obj = 0;
+  Prim prim = Prim::kRead;
+  Value arg = 0;       // write value / CAS desired
+  Value expected = 0;  // CAS expected
+  Value observed = 0;  // read: value returned; CAS/k-CAS: 1 if succeeded
+  bool changed = false;  // non-trivial: the event changed a value
+  std::vector<KcasEntry> kcas;  // kKcas only
+
+  /// Same process, object(s), primitive and arguments (not response).
+  [[nodiscard]] bool same_action(const Event& other) const noexcept {
+    return proc == other.proc && obj == other.obj && prim == other.prim &&
+           arg == other.arg && expected == other.expected &&
+           kcas == other.kcas;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An execution is a sequence of events (Section 2).
+using Trace = std::vector<Event>;
+
+/// E^{-P}: the trace with every event of the given processes removed
+/// (the notation of Lemma 2 / Claim 1).  `erase[p]` true means drop p.
+[[nodiscard]] Trace erase_processes(const Trace& trace,
+                                    const std::vector<bool>& erase);
+
+}  // namespace ruco::sim

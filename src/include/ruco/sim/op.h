@@ -1,0 +1,111 @@
+// Op: the coroutine type of simulated operations.
+//
+// A process in the simulated shared-memory system is a coroutine that
+// suspends at every shared-memory primitive (read / write / CAS awaitables
+// on sim::Ctx).  While suspended, the primitive it is about to apply is the
+// process's *enabled event* (Section 2 of the paper) -- visible to
+// schedulers and adversaries before it executes.  System::step applies the
+// primitive and resumes the coroutine until its next suspension.
+//
+// Ops compose: an Op may `co_await` another Op (e.g. a counter increment
+// awaiting WriteMax on an internal max register).  Suspension always
+// propagates to the scheduler from the innermost primitive; completion of an
+// inner Op transfers control back to its awaiter symmetrically.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "ruco/core/types.h"
+
+namespace ruco::sim {
+
+class [[nodiscard]] Op {
+ public:
+  struct promise_type {
+    Value result = 0;
+    std::exception_ptr error;
+    std::coroutine_handle<> continuation;  // awaiting outer op, if any
+
+    Op get_return_object() {
+      return Op{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    // Lazily started: the System (or an awaiting outer op) resumes us.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Hand control back to the awaiting op, or to System::step's
+        // resume() call for a top-level op.
+        const auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(Value v) noexcept { result = v; }
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  Op() = default;
+  Op(Op&& other) noexcept : handle_{std::exchange(other.handle_, {})} {}
+  Op& operator=(Op&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+  ~Op() {
+    if (handle_) handle_.destroy();
+  }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+  [[nodiscard]] bool done() const noexcept { return handle_.done(); }
+
+  /// Starts or continues the coroutine (top-level use by System only).
+  void resume_from_system() { handle_.resume(); }
+
+  /// co_return value; rethrows if the op ended with an exception.
+  [[nodiscard]] Value result() const {
+    if (handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+    return handle_.promise().result;
+  }
+
+  /// Awaiting an Op runs it as a sub-operation of the current coroutine.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> inner;
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> outer) noexcept {
+        inner.promise().continuation = outer;
+        return inner;  // symmetric transfer: start the sub-op
+      }
+      Value await_resume() {
+        if (inner.promise().error) {
+          std::rethrow_exception(inner.promise().error);
+        }
+        return inner.promise().result;
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Op(std::coroutine_handle<promise_type> h) noexcept : handle_{h} {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ruco::sim

@@ -1,0 +1,55 @@
+// Generic schedulers over a sim::System: round-robin, seeded-random, solo
+// (the obstruction-free completion mode the paper's bounds are stated for)
+// and scripted replacement.  The lower-bound *adversarial* schedulers live
+// in ruco/adversary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/sim/system.h"
+
+namespace ruco::sim {
+
+/// Steps processes 0..N-1 cyclically, skipping completed ones, until all
+/// complete or `max_steps` total steps were taken.  Returns steps taken.
+std::uint64_t run_round_robin(System& sys, std::uint64_t max_steps);
+
+/// Steps a uniformly random active process each time.  Deterministic for a
+/// fixed seed.  Returns steps taken.
+std::uint64_t run_random(System& sys, std::uint64_t seed,
+                         std::uint64_t max_steps);
+
+/// Runs process p alone until it completes (the paper's obstruction-free
+/// solo measure) or `max_steps` is hit.  Returns steps taken by p.
+std::uint64_t run_solo(System& sys, ProcId p, std::uint64_t max_steps);
+
+/// Steps exactly the given process sequence; returns how many were applied
+/// (stops early at the first non-steppable process).
+std::uint64_t run_script(System& sys, std::span<const ProcId> script);
+
+/// True iff every process of the system has completed.
+[[nodiscard]] bool all_done(const System& sys);
+
+/// PCT — probabilistic concurrency testing (Burckhardt et al., ASPLOS'10):
+/// a randomized scheduler with a *guaranteed* probability of exposing any
+/// bug of depth d.  Each process gets a random priority; the highest-
+/// priority active process runs, except at `depth - 1` pre-chosen random
+/// step indices where the running process's priority is demoted below
+/// everyone.  For a bug requiring d ordering constraints, one run finds it
+/// with probability >= 1/(n * k^(d-1)) -- far better than uniform random
+/// for rendezvous bugs like Algorithm A's propagation races, which is what
+/// the property tests use it for.
+struct PctOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t depth = 3;            // d: bug depth to target
+  std::uint64_t max_steps = 1u << 22;  // k estimate / safety budget
+  /// If non-empty, only these processes are scheduled (e.g. racing writers,
+  /// with a verifying reader run separately afterwards).
+  std::vector<ProcId> only;
+};
+std::uint64_t run_pct(System& sys, const PctOptions& options);
+
+}  // namespace ruco::sim

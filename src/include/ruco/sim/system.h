@@ -1,0 +1,271 @@
+// The paper's asynchronous shared-memory system, executable (Section 2):
+// N processes apply read / write / CAS primitives to base objects; each
+// suspended process exposes its single enabled event; a scheduler (or
+// adversary) decides who steps next.  The system maintains, online, the
+// paper's information-flow bookkeeping:
+//
+//   * invisible events (Definition 1) -- a value-preserving event, or a
+//     write immediately overwritten before anyone (including its issuer)
+//     observes it;
+//   * awareness sets AW(p, E) (Definitions 2-3) -- who p has (transitively)
+//     heard of through visible events;
+//   * familiarity sets F(o, E) (Definition 4) -- whose existence is recorded
+//     in o through events currently visible on it.
+//
+// The update rules are exactly those used in the proof of Lemma 1:
+//   read / any CAS by p on o:    AW(p) |= F(o)
+//   visible write / CAS by p on o: F(o) |= AW(p)   (a contribution that is
+//     retracted if a write is immediately overwritten per Definition 1)
+// making the tracked sets a (tight) superset of the definitional ones; the
+// tests cross-check them against an offline recomputation from the trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/sim/event.h"
+#include "ruco/sim/op.h"
+#include "ruco/sim/proc_set.h"
+
+namespace ruco::sim {
+
+class System;
+
+/// Per-process capability object handed to operation coroutines.  All
+/// shared-memory access of a simulated algorithm flows through its Ctx.
+class Ctx {
+ public:
+  [[nodiscard]] ProcId id() const noexcept { return id_; }
+
+  /// Awaitables: each one is a single step (shared-memory event).
+  [[nodiscard]] auto read(ObjectId o) noexcept;
+  [[nodiscard]] auto write(ObjectId o, Value v) noexcept;
+  /// Resolves to 1 if the CAS succeeded, 0 otherwise (the CAS primitive of
+  /// Section 2 returns only true/false).
+  [[nodiscard]] auto cas(ObjectId o, Value expected, Value desired) noexcept;
+  /// k-word CAS (reference [6]'s stronger primitive): succeeds -- resolving
+  /// to 1 -- iff every entry matches its expected value, atomically
+  /// installing all desired values.  One step.
+  [[nodiscard]] auto kcas(std::vector<KcasEntry> entries) noexcept;
+
+  /// History annotations for the linearizability checker; not steps.
+  /// mark_invoke is *deferred*: the invocation is timestamped when this
+  /// process takes its next step, because an operation's interval in the
+  /// model begins with its first shared-memory event (processes are
+  /// spawned with their first operation already pending, and stamping at
+  /// spawn time would make every first operation look concurrent with the
+  /// entire execution).  mark_return stamps immediately (it runs in the
+  /// same resume as the operation's last step).
+  void mark_invoke(std::string_view op, Value arg);
+  void mark_return(Value ret);
+  /// Vector-result return (Scan operations).
+  void mark_return_vec(std::vector<Value> ret);
+
+ private:
+  friend class System;
+  friend struct PrimAwaiter;
+  System* sys_ = nullptr;
+  ProcId id_ = 0;
+};
+
+/// Operation-boundary records interleaved with the step trace, consumed by
+/// lincheck.  `time` is a position in the system-wide sequence of steps and
+/// annotations, so invocation/response order reflects real precedence.
+struct HistoryEvent {
+  enum class Kind : std::uint8_t { kInvoke, kReturn };
+  ProcId proc = 0;
+  Kind kind = Kind::kInvoke;
+  std::string op;   // operation name at kInvoke; empty at kReturn
+  Value value = 0;  // argument at kInvoke; return value at kReturn
+  std::vector<Value> vec;  // vector return value (Scan), else empty
+  std::uint64_t time = 0;
+};
+
+/// An immutable description of a finite system: base objects with initial
+/// values and process bodies.  A Program can be instantiated into many
+/// Systems (replay after erasure, model checking) -- bodies must therefore
+/// be pure: all cross-operation state lives in base objects.
+class Program {
+ public:
+  ObjectId add_object(Value initial);
+  /// Adds a process; returns its id (dense, in spawn order).
+  ProcId add_process(std::function<Op(Ctx&)> body);
+
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return object_init_.size();
+  }
+  [[nodiscard]] std::size_t num_processes() const noexcept {
+    return bodies_.size();
+  }
+
+ private:
+  friend class System;
+  std::vector<Value> object_init_;
+  std::vector<std::function<Op(Ctx&)>> bodies_;
+};
+
+class System {
+ public:
+  explicit System(const Program& program);
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Applies the enabled event of process p and runs p to its next
+  /// suspension (or completion).  Returns false iff p has no enabled event
+  /// (already completed).
+  bool step(ProcId p);
+
+  /// p has an enabled event.
+  [[nodiscard]] bool active(ProcId p) const {
+    return procs_[p].has_pending;
+  }
+  /// The enabled event of p, or nullptr if p completed.
+  [[nodiscard]] const Pending* enabled(ProcId p) const {
+    return procs_[p].has_pending ? &procs_[p].pending : nullptr;
+  }
+  /// Would p's enabled event change its target object's value right now?
+  /// (Triviality pre-classification used by Lemma 1 and Lemma 4 case 2.)
+  [[nodiscard]] bool pending_would_change(ProcId p) const;
+
+  [[nodiscard]] bool done(ProcId p) const { return !procs_[p].has_pending; }
+  /// Result of p's (completed) top-level op; rethrows its exception.
+  [[nodiscard]] Value result(ProcId p) const { return procs_[p].op.result(); }
+
+  [[nodiscard]] Value value(ObjectId o) const { return objects_[o].value; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const std::vector<HistoryEvent>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] const ProcSet& awareness(ProcId p) const {
+    return procs_[p].aw;
+  }
+  [[nodiscard]] const ProcSet& familiarity(ObjectId o) const {
+    return objects_[o].fam;
+  }
+  [[nodiscard]] std::uint64_t steps_taken(ProcId p) const {
+    return procs_[p].steps;
+  }
+  [[nodiscard]] std::size_t num_processes() const noexcept {
+    return procs_.size();
+  }
+  [[nodiscard]] std::size_t num_objects() const noexcept {
+    return objects_.size();
+  }
+  /// M(E) of Lemma 1: the maximum size over all awareness and familiarity
+  /// sets, recomputed exactly (O(processes + objects) set counts).
+  [[nodiscard]] std::size_t max_knowledge() const;
+
+  /// High-water mark of M over the whole run, maintained incrementally in
+  /// O(1) per step.  Since knowledge sets only ever grow (familiarity
+  /// retraction can shrink one object's set, but never above the mark),
+  /// the mark equals max over prefixes of M(E_prefix) -- the quantity
+  /// Lemma 1's 3^j invariant bounds.  Preferred by the large-N adversary
+  /// benchmarks, where exact recomputation per round would dominate.
+  [[nodiscard]] std::size_t max_knowledge_seen() const noexcept {
+    return knowledge_high_water_;
+  }
+
+ private:
+  friend class Ctx;
+
+  static constexpr std::uint64_t kNoEvent = UINT64_MAX;
+
+  struct ObjectState {
+    Value value = 0;
+    ProcSet fam;  // cached union of contributions
+    struct Contribution {
+      std::uint64_t event_index;
+      ProcId proc;
+      ProcSet aw;  // AW(issuer) at event time (Definition 4's E1e prefix)
+    };
+    std::vector<Contribution> contribs;
+    std::uint64_t last_access = kNoEvent;  // trace index of last event on o
+  };
+
+  struct ProcState {
+    Ctx ctx;
+    Op op;
+    std::coroutine_handle<> resume_point;  // innermost suspended coroutine
+    Pending pending;
+    bool has_pending = false;
+    Value prim_result = 0;
+    ProcSet aw;
+    std::uint64_t steps = 0;
+    std::uint64_t last_step = kNoEvent;  // trace index of p's last event
+    // Deferred mark_invoke, flushed at this process's next step.
+    bool invoke_buffered = false;
+    std::string buffered_op;
+    Value buffered_arg = 0;
+  };
+
+  void flush_invoke(ProcId p);
+
+  void post_pending(ProcId p, const Pending& pending,
+                    std::coroutine_handle<> resume_point);
+  [[nodiscard]] Value take_result(ProcId p) const {
+    return procs_[p].prim_result;
+  }
+  void apply(ProcId p, const Pending& pending);
+  void retract_overwritten(ObjectState& os);
+  void rebuild_familiarity(ObjectState& os);
+
+  std::vector<ObjectState> objects_;
+  std::vector<ProcState> procs_;
+  Trace trace_;
+  std::vector<HistoryEvent> history_;
+  std::uint64_t clock_ = 0;  // advances on every step and annotation
+  std::size_t knowledge_high_water_ = 1;  // every AW starts at {self}
+
+  friend struct PrimAwaiter;
+};
+
+/// Awaitable for one shared-memory primitive.
+struct PrimAwaiter {
+  Ctx* ctx;
+  Pending pending;
+
+  bool await_ready() noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) noexcept {
+    ctx->sys_->post_pending(ctx->id_, pending, h);
+  }
+  [[nodiscard]] Value await_resume() noexcept {
+    return ctx->sys_->take_result(ctx->id_);
+  }
+};
+
+inline auto Ctx::read(ObjectId o) noexcept {
+  return PrimAwaiter{this, Pending{o, Prim::kRead, 0, 0, {}}};
+}
+inline auto Ctx::write(ObjectId o, Value v) noexcept {
+  return PrimAwaiter{this, Pending{o, Prim::kWrite, v, 0, {}}};
+}
+inline auto Ctx::cas(ObjectId o, Value expected, Value desired) noexcept {
+  return PrimAwaiter{this, Pending{o, Prim::kCas, desired, expected, {}}};
+}
+inline auto Ctx::kcas(std::vector<KcasEntry> entries) noexcept {
+  Pending pending;
+  pending.prim = Prim::kKcas;
+  pending.obj = entries.empty() ? 0 : entries.front().obj;
+  pending.kcas = std::move(entries);
+  return PrimAwaiter{this, std::move(pending)};
+}
+
+/// Re-executes `script` on a fresh system by stepping each event's process
+/// in order, checking that every process performs the same actions -- and,
+/// with `check_responses`, receives the same responses -- as recorded.
+/// This is the executable form of Lemma 2 / Claim 1: a trace with hidden
+/// processes removed must replay as a legal execution indistinguishable to
+/// the survivors.
+struct ReplayResult {
+  bool ok = true;
+  std::size_t mismatch_index = 0;
+  std::string message;
+};
+ReplayResult replay_trace(System& fresh, const Trace& script,
+                          bool check_responses);
+
+}  // namespace ruco::sim

@@ -1,0 +1,41 @@
+// Human-oriented views of executions: a per-process columnar rendering of
+// a trace (the format used in the paper's Figures 1-3 walkthroughs) and a
+// Graphviz DOT export of the information-flow (awareness) graph -- which
+// processes learned of which, through which objects.
+#pragma once
+
+#include <string>
+
+#include "ruco/sim/event.h"
+#include "ruco/sim/system.h"
+
+namespace ruco::sim {
+
+struct TraceRenderOptions {
+  /// Render at most this many events (0 = all).
+  std::size_t max_events = 0;
+  /// Mark trivial (invisible) events with a trailing '.'.
+  bool mark_trivial = true;
+};
+
+/// One line per event, one column per process:
+///
+///     p0               p1               p2
+///     read o3 -> -1
+///                      write o5 := 2
+///     cas o1(−1->4) ok
+///
+/// Adversary traces become readable: erased processes simply have empty
+/// columns, halted ones stop early.
+[[nodiscard]] std::string render_trace(const Trace& trace,
+                                       std::size_t num_processes,
+                                       const TraceRenderOptions& options = {});
+
+/// DOT digraph of process-level information flow in the execution: an edge
+/// q -> p labelled with the object through which p first became aware of q
+/// (per the literal Definitions 1-4 recomputation).  Feed to `dot -Tsvg`.
+[[nodiscard]] std::string knowledge_dot(const Trace& trace,
+                                        std::size_t num_processes,
+                                        std::size_t num_objects);
+
+}  // namespace ruco::sim

@@ -1,0 +1,71 @@
+// Canned sim programs in the exact shape of the paper's lower-bound
+// constructions:
+//
+//   * max register programs (Theorem 3): processes p_0..p_{K-2} each perform
+//     a single WriteMax(i+1) -- operand order aligned with process ids, as
+//     in the proof -- and one extra process p_{K-1} performs a single
+//     ReadMax (the Lemma 5/6 reader).
+//
+//   * counter programs (Theorem 1): processes p_0..p_{N-2} each perform a
+//     single CounterIncrement and p_{N-1} performs a CounterRead (Lemma 3's
+//     p_N).
+//
+// The returned bundle owns the algorithm instance; the Program's bodies are
+// pure (all cross-operation state in base objects), so any number of
+// Systems can be instantiated from one bundle -- which is what erasure
+// replay and model checking need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ruco/core/types.h"
+#include "ruco/maxreg/tree_max_register.h"  // Faithfulness
+#include "ruco/sim/system.h"
+
+namespace ruco::simalgos {
+
+struct MaxRegProgram {
+  sim::Program program;
+  std::uint32_t num_writers = 0;  // procs [0, num_writers); writer i writes i+1
+  ProcId reader = 0;         // performs one ReadMax; result() = value
+  std::shared_ptr<void> algo;     // keepalive for the algorithm instance
+};
+
+/// Algorithm A target: K-1 writers + 1 reader sharing a SimTreeMaxRegister
+/// for K processes.
+[[nodiscard]] MaxRegProgram make_tree_maxreg_program(
+    std::uint32_t k,
+    maxreg::Faithfulness mode = maxreg::Faithfulness::kHelpOnDuplicate);
+
+/// CAS-retry-loop target (f(K) = O(1) reads; the adversary's best victim).
+[[nodiscard]] MaxRegProgram make_cas_maxreg_program(std::uint32_t k);
+
+/// AAC read/write target with bound M >= K.
+[[nodiscard]] MaxRegProgram make_aac_maxreg_program(std::uint32_t k,
+                                                    Value bound);
+
+/// Unbounded rw-only target (O(log v) both ops); envelope sized to K.
+[[nodiscard]] MaxRegProgram make_unbounded_aac_maxreg_program(
+    std::uint32_t k);
+
+struct CounterProgram {
+  sim::Program program;
+  std::uint32_t num_incrementers = 0;  // procs [0, num_incrementers)
+  ProcId reader = 0;              // performs one CounterRead
+  std::shared_ptr<void> algo;
+};
+
+/// f-array counter target (read O(1): Theorem 1 forces increments to
+/// Omega(log N) -- which the f-array pays).
+[[nodiscard]] CounterProgram make_farray_counter_program(std::uint32_t n);
+
+/// AAC read/write counter target (read O(log N)).
+[[nodiscard]] CounterProgram make_maxreg_counter_program(std::uint32_t n,
+                                                         Value max_increments);
+
+/// 2-CAS counter (reference [6]'s primitive; outside the paper's model):
+/// lock-free, not wait-free -- the adversary starves it to Theta(N) rounds.
+[[nodiscard]] CounterProgram make_kcas_counter_program(std::uint32_t n);
+
+}  // namespace ruco::simalgos

@@ -1,0 +1,105 @@
+// Simulation-layer twins of the max register implementations: the same
+// algorithms expressed as sim::Op coroutines over sim base objects, so the
+// adversary constructions and the model checker can drive them step by
+// step.  All cross-operation state lives in base objects (a requirement for
+// replay after erasure); solo step counts match the production layer and
+// the tests assert it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/maxreg/tree_max_register.h"  // Faithfulness
+#include "ruco/sim/op.h"
+#include "ruco/sim/system.h"
+#include "ruco/util/tree_shape.h"
+
+namespace ruco::simalgos {
+
+/// Algorithm A over simulated memory.  See maxreg::TreeMaxRegister.
+///
+/// `propagate_attempts` is an ablation knob: the paper performs the
+/// compute-max-and-CAS *twice* per level (lines 6-9) and proves that is
+/// enough; with 1 attempt a failed CAS abandons the level and a completed
+/// WriteMax can be missed by later reads (the ablation bench and tests
+/// exhibit the violation), with 2 (the default) the algorithm is correct.
+class SimTreeMaxRegister {
+ public:
+  SimTreeMaxRegister(sim::Program& program, std::uint32_t num_processes,
+                     maxreg::Faithfulness mode, int propagate_attempts = 2);
+
+  [[nodiscard]] sim::Op read_max(sim::Ctx& ctx) const;
+  [[nodiscard]] sim::Op write_max(sim::Ctx& ctx, Value v) const;
+
+  [[nodiscard]] std::uint32_t num_processes() const noexcept {
+    return shape_.num_processes();
+  }
+  /// Base object backing the tree root (the one ReadMax reads).
+  [[nodiscard]] sim::ObjectId root_object() const {
+    return objects_[shape_.root()];
+  }
+
+ private:
+  [[nodiscard]] sim::Op propagate(sim::Ctx& ctx,
+                                  util::TreeShape::NodeId leaf) const;
+
+  util::AlgorithmATreeShape shape_;
+  std::vector<sim::ObjectId> objects_;  // one base object per tree node
+  maxreg::Faithfulness mode_;
+  int propagate_attempts_;
+};
+
+/// Single-word CAS-retry max register over simulated memory.  The model's
+/// CAS returns only success/failure (Section 2), so each failed attempt
+/// costs one extra read to refresh the expected value.
+class SimCasMaxRegister {
+ public:
+  explicit SimCasMaxRegister(sim::Program& program);
+
+  [[nodiscard]] sim::Op read_max(sim::Ctx& ctx) const;
+  [[nodiscard]] sim::Op write_max(sim::Ctx& ctx, Value v) const;
+
+  [[nodiscard]] sim::ObjectId cell() const noexcept { return cell_; }
+
+ private:
+  sim::ObjectId cell_;
+};
+
+/// AAC bounded max register over simulated memory (read/write only).  See
+/// maxreg::AacMaxRegister.
+class SimAacMaxRegister {
+ public:
+  SimAacMaxRegister(sim::Program& program, Value bound);
+
+  [[nodiscard]] sim::Op read_max(sim::Ctx& ctx) const;
+  [[nodiscard]] sim::Op write_max(sim::Ctx& ctx, Value v) const;
+
+  [[nodiscard]] Value bound() const noexcept { return bound_; }
+
+ private:
+  Value bound_;
+  std::uint32_t levels_;
+  std::vector<sim::ObjectId> switches_;  // heap-ordered; index 0 unused
+  sim::ObjectId any_write_;
+};
+
+/// Unbounded rw-only max register over simulated memory (AAC composition
+/// along a Bentley-Yao spine).  See maxreg::UnboundedAacMaxRegister.
+/// Groups are allocated eagerly up to max_groups (sim programs have a fixed
+/// object set), so keep max_groups modest (values < 2^max_groups - 1).
+class SimUnboundedAacMaxRegister {
+ public:
+  SimUnboundedAacMaxRegister(sim::Program& program, std::uint32_t max_groups);
+
+  [[nodiscard]] sim::Op read_max(sim::Ctx& ctx) const;
+  [[nodiscard]] sim::Op write_max(sim::Ctx& ctx, Value v) const;
+
+ private:
+  std::uint32_t max_groups_;
+  std::vector<sim::ObjectId> spine_;
+  std::vector<std::unique_ptr<SimAacMaxRegister>> groups_;
+};
+
+}  // namespace ruco::simalgos

@@ -1,0 +1,94 @@
+// Simulation-layer single-writer snapshot (double collect) and the
+// counter-from-snapshot reduction of Corollary 1, as adversary targets.
+//
+// Segments pack (sequence, value) into one base-object word -- the model's
+// registers hold arbitrary values, but the sim's Value is int64, so values
+// are bounded to 30 bits and per-segment updates to 2^32 (restricted use,
+// checked).  Scan double-collects; obstruction-free only: a concurrent
+// updater starves it, which the tests demonstrate (this is the
+// "obstruction-free is the right granularity for the lower bounds" point
+// of Section 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ruco/core/types.h"
+#include "ruco/sim/op.h"
+#include "ruco/sim/system.h"
+#include "ruco/simalgos/programs.h"
+
+namespace ruco::simalgos {
+
+class SimDoubleCollectSnapshot {
+ public:
+  SimDoubleCollectSnapshot(sim::Program& program,
+                           std::uint32_t num_processes);
+
+  /// Sets segment ctx.id() to v (re-reading its own segment for the
+  /// sequence number: 2 steps; the production twin caches it locally).
+  [[nodiscard]] sim::Op update(sim::Ctx& ctx, Value v) const;
+
+  /// Double collect until clean; returns through mark_return_vec-style
+  /// side channel: the Op's scalar result is the SUM of the view (which is
+  /// what the Corollary 1 counter needs); use scan_into for the vector.
+  [[nodiscard]] sim::Op scan_sum(sim::Ctx& ctx) const;
+
+  /// Full-view scan: writes the view into *out (caller-owned) and returns
+  /// 0.  The vector never touches shared memory -- it is the operation's
+  /// local result.
+  [[nodiscard]] sim::Op scan_into(sim::Ctx& ctx,
+                                  std::vector<Value>* out) const;
+
+  /// Adds one to own segment's value (the Corollary 1 increment).  2 steps.
+  [[nodiscard]] sim::Op increment_own(sim::Ctx& ctx) const;
+
+  [[nodiscard]] std::uint32_t num_processes() const noexcept { return n_; }
+
+  static constexpr Value kMaxValue = (Value{1} << 30) - 1;
+
+ private:
+  static constexpr Value pack(Value v, Value seq) noexcept {
+    return seq * (Value{1} << 30) + v;
+  }
+  static constexpr Value unpack_value(Value w) noexcept {
+    return w % (Value{1} << 30);
+  }
+  static constexpr Value unpack_seq(Value w) noexcept {
+    return w / (Value{1} << 30);
+  }
+
+  std::uint32_t n_;
+  std::vector<sim::ObjectId> segments_;
+};
+
+/// Corollary 1's counter: increment bumps own segment, read scans and sums.
+/// CounterRead costs f(N) = 2N steps solo -- the frontier log3(N/f)
+/// collapses to zero, which is why its O(1)-ish increments do not
+/// contradict Theorem 1.
+class SimDcSnapshotCounter {
+ public:
+  SimDcSnapshotCounter(sim::Program& program, std::uint32_t num_processes)
+      : snapshot_{program, num_processes} {}
+
+  [[nodiscard]] sim::Op read(sim::Ctx& ctx) const {
+    return snapshot_.scan_sum(ctx);
+  }
+  /// Read own segment, write it back +1.  2 steps.
+  [[nodiscard]] sim::Op increment(sim::Ctx& ctx) const {
+    return snapshot_.increment_own(ctx);
+  }
+
+  [[nodiscard]] const SimDoubleCollectSnapshot& snapshot() const noexcept {
+    return snapshot_;
+  }
+
+ private:
+  SimDoubleCollectSnapshot snapshot_;
+};
+
+/// Factory in the Theorem 1 shape (see programs.h).
+[[nodiscard]] CounterProgram make_dc_snapshot_counter_program(
+    std::uint32_t n);
+
+}  // namespace ruco::simalgos

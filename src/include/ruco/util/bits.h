@@ -1,0 +1,38 @@
+// Bit-manipulation helpers shared by the tree-shaped data structures.
+//
+// All functions are constexpr and total: edge cases (zero, one, maximum
+// values) are defined and unit-tested rather than left as preconditions.
+#pragma once
+
+#include <cstdint>
+
+namespace ruco::util {
+
+/// floor(log2(x)) for x >= 1; returns 0 for x == 0 (by convention, so the
+/// function is total -- callers that care assert x != 0 themselves).
+constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  std::uint32_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+/// Smallest power of two >= x (x == 0 maps to 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// True iff x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace ruco::util

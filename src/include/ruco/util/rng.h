@@ -1,0 +1,52 @@
+// Deterministic, seedable PRNG used across tests, benchmarks and the
+// simulator's random scheduler.  SplitMix64: tiny state, excellent quality
+// for non-cryptographic use, and -- unlike std::mt19937 -- identical output
+// on every platform, which keeps adversary traces and property tests
+// reproducible byte-for-byte.
+#pragma once
+
+#include <cstdint>
+
+namespace ruco::util {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return UINT64_MAX; }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be nonzero.  Uses rejection-free
+  /// Lemire multiply-shift, biased by < 2^-32 for bound < 2^32 -- fine for
+  /// scheduling and workload generation.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // 128-bit multiply-high.
+    const std::uint64_t x = (*this)();
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// True with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ruco::util

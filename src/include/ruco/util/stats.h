@@ -1,0 +1,80 @@
+// Streaming summary statistics and a fixed-width histogram, used by the
+// benchmark harness to report step-count distributions (mean / max /
+// percentiles) for each operation type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ruco::util {
+
+/// Welford-style streaming accumulator over uint64 samples.
+class Summary {
+ public:
+  void add(std::uint64_t x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return n_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exact percentile support: keeps all samples.  Intended for step-count
+/// series (tens of thousands of small integers), not nanosecond timings.
+class Samples {
+ public:
+  void add(std::uint64_t x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const;
+  /// p in [0, 100]; nearest-rank percentile.  Sorts lazily.
+  [[nodiscard]] std::uint64_t percentile(double p);
+
+ private:
+  std::vector<std::uint64_t> values_;
+  bool sorted_ = false;
+};
+
+/// Fixed-bucket histogram over [0, buckets); values >= buckets land in the
+/// overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets) : counts_(buckets + 1, 0) {}
+
+  void add(std::uint64_t x) noexcept {
+    const std::size_t i =
+        x < counts_.size() - 1 ? static_cast<std::size_t>(x)
+                               : counts_.size() - 1;
+    ++counts_[i];
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] std::uint64_t overflow() const { return counts_.back(); }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size() - 1;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Compact one-line rendering "v0:c0 v1:c1 ..." skipping empty buckets.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace ruco::util

@@ -1,0 +1,151 @@
+#include "ruco/kcas/mcas.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ruco/runtime/stepcount.h"
+
+namespace ruco::kcas {
+
+McasArray::McasArray(std::uint32_t num_cells, Value init,
+                     std::uint32_t num_processes)
+    : arenas_(num_processes) {
+  if (num_cells == 0) throw std::invalid_argument{"McasArray: 0 cells"};
+  if (num_processes == 0) {
+    throw std::invalid_argument{"McasArray: 0 processes"};
+  }
+  cells_.assign(num_cells, runtime::PaddedAtomic<Word>{pack_value(init)});
+}
+
+McasArray::Word McasArray::pack_value(Value v) {
+  if (v < kMinValue || v > kMaxValue) {
+    throw std::out_of_range{"McasArray: value outside 61-bit range"};
+  }
+  return static_cast<Word>(static_cast<std::uint64_t>(v) << 2);
+}
+
+Value McasArray::unpack_value(Word w) noexcept {
+  // Arithmetic shift back (sign-preserving for negative values).
+  return static_cast<Value>(static_cast<std::int64_t>(w) >> 2);
+}
+
+void McasArray::rdcss_complete(RdcssDescriptor* d) {
+  runtime::step_tick();
+  const std::uintptr_t control = d->control->load();
+  Word parked = tag_rdcss(d);
+  const Word next =
+      control == d->expected_control ? d->desired : d->expected;
+  runtime::step_tick();
+  d->cell->compare_exchange_strong(parked, next);
+}
+
+McasArray::Word McasArray::rdcss(RdcssDescriptor* d) {
+  for (;;) {
+    Word current = d->expected;
+    runtime::step_tick();
+    if (d->cell->compare_exchange_strong(current, tag_rdcss(d))) {
+      rdcss_complete(d);
+      return d->expected;
+    }
+    if (is_rdcss(current)) {
+      // Someone else's acquisition is parked here: finish it and retry.
+      rdcss_complete(as_rdcss(current));
+      continue;
+    }
+    return current;  // a plain value or an MCAS descriptor
+  }
+}
+
+bool McasArray::mcas_help(ProcId proc, McasDescriptor* d) {
+  runtime::step_tick();
+  if (d->status.load() ==
+      static_cast<std::uintptr_t>(Status::kUndecided)) {
+    // Phase 1: acquire every word, wedging our descriptor in, unless the
+    // operation gets decided under us (the RDCSS control check) or a word
+    // no longer matches.
+    auto desired_status = static_cast<std::uintptr_t>(Status::kSucceeded);
+    for (const McasWord& word : d->words) {
+      for (;;) {
+        RdcssDescriptor* rd = &arenas_[proc].rdcss.emplace_back();
+        rd->control = &d->status;
+        rd->expected_control =
+            static_cast<std::uintptr_t>(Status::kUndecided);
+        rd->cell = &cells_[word.index].value;
+        rd->expected = pack_value(word.expected);
+        rd->desired = tag_mcas(d);
+        const Word content = rdcss(rd);
+        if (is_mcas(content)) {
+          if (as_mcas(content) != d) {
+            // A different MCAS holds the word: help it finish, then retry.
+            mcas_help(proc, as_mcas(content));
+            continue;
+          }
+          break;  // already acquired for d (by a helper)
+        }
+        if (content != pack_value(word.expected)) {
+          desired_status = static_cast<std::uintptr_t>(Status::kFailed);
+        }
+        break;
+      }
+      if (desired_status ==
+          static_cast<std::uintptr_t>(Status::kFailed)) {
+        break;
+      }
+    }
+    auto expected_status =
+        static_cast<std::uintptr_t>(Status::kUndecided);
+    runtime::step_tick();
+    d->status.compare_exchange_strong(expected_status, desired_status);
+  }
+  // Phase 2: release every word to its decided value.
+  runtime::step_tick();
+  const bool success =
+      d->status.load() == static_cast<std::uintptr_t>(Status::kSucceeded);
+  for (const McasWord& word : d->words) {
+    Word parked = tag_mcas(d);
+    runtime::step_tick();
+    cells_[word.index].value.compare_exchange_strong(
+        parked,
+        pack_value(success ? word.desired : word.expected));
+  }
+  return success;
+}
+
+Value McasArray::read(ProcId proc, std::uint32_t index) {
+  for (;;) {
+    runtime::step_tick();
+    const Word w = cells_[index].value.load();
+    if (is_rdcss(w)) {
+      rdcss_complete(as_rdcss(w));
+      continue;
+    }
+    if (is_mcas(w)) {
+      mcas_help(proc, as_mcas(w));
+      continue;
+    }
+    return unpack_value(w);
+  }
+}
+
+bool McasArray::mcas(ProcId proc, std::vector<McasWord> words) {
+  if (words.empty()) return true;
+  std::sort(words.begin(), words.end(),
+            [](const McasWord& a, const McasWord& b) {
+              return a.index < b.index;
+            });
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i].index >= cells_.size()) {
+      throw std::out_of_range{"McasArray::mcas: index out of range"};
+    }
+    if (i > 0 && words[i].index == words[i - 1].index) {
+      throw std::invalid_argument{"McasArray::mcas: duplicate index"};
+    }
+    (void)pack_value(words[i].expected);  // range checks, loud
+    (void)pack_value(words[i].desired);
+  }
+  McasDescriptor* d = &arenas_[proc].mcas.emplace_back();
+  d->words = std::move(words);
+  return mcas_help(proc, d);
+}
+
+}  // namespace ruco::kcas

@@ -1,0 +1,89 @@
+#include "ruco/lincheck/history.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ruco::lincheck {
+
+std::size_t History::pending_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& op : ops) n += op.pending() ? 1 : 0;
+  return n;
+}
+
+History History::without_pending() const {
+  History out;
+  out.ops.reserve(ops.size());
+  for (const auto& op : ops) {
+    if (!op.pending()) out.ops.push_back(op);
+  }
+  return out;
+}
+
+History from_sim_history(const std::vector<sim::HistoryEvent>& events) {
+  History out;
+  // Per-process stack of open operations (ops of one process are
+  // sequential, so the "stack" has depth <= 1; kept general for safety).
+  std::vector<std::vector<std::size_t>> open;
+  for (const auto& ev : events) {
+    if (ev.proc >= open.size()) open.resize(ev.proc + 1);
+    if (ev.kind == sim::HistoryEvent::Kind::kInvoke) {
+      OpRecord rec;
+      rec.proc = ev.proc;
+      rec.op = ev.op;
+      rec.arg = ev.value;
+      rec.invoked = ev.time;
+      open[ev.proc].push_back(out.ops.size());
+      out.ops.push_back(std::move(rec));
+    } else {
+      if (open[ev.proc].empty()) {
+        throw std::logic_error{"from_sim_history: return without invoke"};
+      }
+      OpRecord& rec = out.ops[open[ev.proc].back()];
+      open[ev.proc].pop_back();
+      rec.ret = ev.value;
+      rec.ret_vec = ev.vec;
+      rec.returned = ev.time;
+    }
+  }
+  return out;
+}
+
+Recorder::Recorder(std::size_t num_threads) : lanes_(num_threads) {}
+
+std::size_t Recorder::begin(ProcId t, std::string_view op, Value arg) {
+  auto& lane = lanes_[t];
+  OpRecord rec;
+  rec.proc = t;
+  rec.op = std::string{op};
+  rec.arg = arg;
+  rec.invoked = clock_.fetch_add(1);
+  lane.records.push_back(std::move(rec));
+  return lane.records.size() - 1;
+}
+
+void Recorder::end(ProcId t, std::size_t slot, Value ret) {
+  OpRecord& rec = lanes_[t].records[slot];
+  rec.ret = ret;
+  rec.returned = clock_.fetch_add(1);
+}
+
+void Recorder::end(ProcId t, std::size_t slot, std::vector<Value> ret_vec) {
+  OpRecord& rec = lanes_[t].records[slot];
+  rec.ret_vec = std::move(ret_vec);
+  rec.returned = clock_.fetch_add(1);
+}
+
+History Recorder::harvest() const {
+  History out;
+  for (const auto& lane : lanes_) {
+    out.ops.insert(out.ops.end(), lane.records.begin(), lane.records.end());
+  }
+  std::sort(out.ops.begin(), out.ops.end(),
+            [](const OpRecord& a, const OpRecord& b) {
+              return a.invoked < b.invoked;
+            });
+  return out;
+}
+
+}  // namespace ruco::lincheck

@@ -1,0 +1,25 @@
+#include "ruco/maxreg/cas_max_register.h"
+
+#include <cassert>
+
+#include "ruco/runtime/stepcount.h"
+
+namespace ruco::maxreg {
+
+Value CasMaxRegister::read_max(ProcId /*proc*/) const {
+  runtime::step_tick();
+  return cell_.value.load();
+}
+
+void CasMaxRegister::write_max(ProcId /*proc*/, Value v) {
+  assert(v >= 0);
+  runtime::step_tick();
+  Value current = cell_.value.load();
+  while (current < v) {
+    runtime::step_tick();
+    if (cell_.value.compare_exchange_weak(current, v)) return;
+    // compare_exchange reloads `current` on failure; loop re-tests.
+  }
+}
+
+}  // namespace ruco::maxreg

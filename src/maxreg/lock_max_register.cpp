@@ -1,0 +1,19 @@
+#include "ruco/maxreg/lock_max_register.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ruco::maxreg {
+
+Value LockMaxRegister::read_max(ProcId /*proc*/) const {
+  const std::scoped_lock lock{mutex_};
+  return value_;
+}
+
+void LockMaxRegister::write_max(ProcId /*proc*/, Value v) {
+  assert(v >= 0);
+  const std::scoped_lock lock{mutex_};
+  value_ = std::max(value_, v);
+}
+
+}  // namespace ruco::maxreg

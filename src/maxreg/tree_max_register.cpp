@@ -1,0 +1,58 @@
+#include "ruco/maxreg/tree_max_register.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ruco/maxreg/propagate.h"
+#include "ruco/runtime/stepcount.h"
+
+namespace ruco::maxreg {
+
+namespace {
+constexpr Value combine_max(Value l, Value r) noexcept {
+  return std::max(l, r);
+}
+}  // namespace
+
+TreeMaxRegister::TreeMaxRegister(std::uint32_t num_processes,
+                                 Faithfulness mode)
+    : shape_{num_processes},
+      values_(shape_.node_count(), runtime::PaddedAtomic<Value>{kNoValue}),
+      mode_{mode} {}
+
+Value TreeMaxRegister::read_max(ProcId /*proc*/) const {
+  runtime::step_tick();
+  return values_[shape_.root()].value.load();
+}
+
+void TreeMaxRegister::write_max(ProcId proc, Value v) {
+  assert(v >= 0);
+  assert(proc < shape_.num_processes());
+  const auto leaf = v < shape_.num_processes()
+                        ? shape_.value_leaf(static_cast<std::uint64_t>(v))
+                        : shape_.process_leaf(proc);
+  runtime::step_tick();
+  const Value old_value = values_[leaf].value.load();
+  if (v <= old_value) {
+    // Another write of >= v already reached this leaf.  The paper's printed
+    // code returns here; without helping, the other write may not have
+    // propagated yet and this (completed) operation could be missed by a
+    // subsequent ReadMax.
+    if (mode_ == Faithfulness::kHelpOnDuplicate) {
+      propagate_twice(shape_, values_, leaf, combine_max);
+    }
+    return;
+  }
+  runtime::step_tick();
+  values_[leaf].value.store(v);
+  propagate_twice(shape_, values_, leaf, combine_max);
+}
+
+std::uint32_t TreeMaxRegister::write_leaf_depth(ProcId proc, Value v) const {
+  const auto leaf = v < shape_.num_processes()
+                        ? shape_.value_leaf(static_cast<std::uint64_t>(v))
+                        : shape_.process_leaf(proc);
+  return shape_.depth(leaf);
+}
+
+}  // namespace ruco::maxreg

@@ -1,0 +1,24 @@
+#include "ruco/runtime/thread_harness.h"
+
+namespace ruco::runtime {
+
+void run_threads(std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+  SpinBarrier barrier{count};
+  std::vector<std::thread> threads;
+  threads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads.emplace_back([&barrier, &body, i] {
+      barrier.arrive_and_wait();
+      body(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace ruco::runtime

@@ -1,0 +1,58 @@
+#include "ruco/sim/event.h"
+
+namespace ruco::sim {
+
+const char* to_string(Prim p) noexcept {
+  switch (p) {
+    case Prim::kRead:
+      return "read";
+    case Prim::kWrite:
+      return "write";
+    case Prim::kCas:
+      return "cas";
+    case Prim::kKcas:
+      return "kcas";
+  }
+  return "?";
+}
+
+std::string Event::to_string() const {
+  std::string s = "p" + std::to_string(proc) + " " + sim::to_string(prim) +
+                  " o" + std::to_string(obj);
+  switch (prim) {
+    case Prim::kRead:
+      s += " -> " + std::to_string(observed);
+      break;
+    case Prim::kWrite:
+      s += " := " + std::to_string(arg);
+      break;
+    case Prim::kCas:
+      s += "(" + std::to_string(expected) + " -> " + std::to_string(arg) +
+           ") = " + (observed != 0 ? "ok" : "fail");
+      break;
+    case Prim::kKcas: {
+      s = "p" + std::to_string(proc) + " kcas";
+      for (const auto& entry : kcas) {
+        s += " o" + std::to_string(entry.obj) + "(" +
+             std::to_string(entry.expected) + "->" +
+             std::to_string(entry.desired) + ")";
+      }
+      s += std::string{" = "} + (observed != 0 ? "ok" : "fail");
+      break;
+    }
+  }
+  if (!changed) s += " [trivial]";
+  return s;
+}
+
+Trace erase_processes(const Trace& trace, const std::vector<bool>& erase) {
+  Trace out;
+  out.reserve(trace.size());
+  for (const Event& e : trace) {
+    if (e.proc < erase.size() && erase[e.proc]) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ruco::sim

@@ -1,0 +1,92 @@
+#include "ruco/sim/model_checker.h"
+
+#include <memory>
+
+namespace ruco::sim {
+
+namespace {
+
+struct Dfs {
+  const Program& program;
+  const Verdict& verdict;
+  const ModelCheckOptions& options;
+  ModelCheckResult result;
+  std::vector<ProcId> prefix;
+
+  // Returns false to stop exploration (failure found or budget exhausted).
+  // `preemptions_left` implements iterative context bounding: continuing
+  // the process that just ran -- or switching away from a completed one --
+  // is free; any other switch consumes budget.
+  bool explore(std::uint32_t preemptions_left) {
+    if (options.max_executions != 0 &&
+        result.executions >= options.max_executions) {
+      result.exhaustive = false;
+      return false;
+    }
+    System sys{program};
+    for (const ProcId p : prefix) sys.step(p);
+
+    std::vector<ProcId> ready;
+    for (ProcId p = 0; p < sys.num_processes(); ++p) {
+      if (sys.active(p)) ready.push_back(p);
+    }
+    if (ready.empty()) {
+      ++result.executions;
+      std::string diag = verdict(sys);
+      if (!diag.empty()) {
+        result.ok = false;
+        result.counterexample = prefix;
+        result.message = std::move(diag);
+        return false;
+      }
+      return true;
+    }
+    if (prefix.size() >= options.max_depth) {
+      result.ok = false;
+      result.counterexample = prefix;
+      result.message = "max_depth exceeded (non-terminating schedule?)";
+      return false;
+    }
+    const bool last_still_ready =
+        !prefix.empty() && sys.active(prefix.back());
+    for (const ProcId p : ready) {
+      const bool preempts = last_still_ready && p != prefix.back();
+      if (preempts && preemptions_left == 0) continue;
+      prefix.push_back(p);
+      const bool keep_going =
+          explore(preempts ? preemptions_left - 1 : preemptions_left);
+      prefix.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+ModelCheckResult model_check(const Program& program, const Verdict& verdict,
+                             const ModelCheckOptions& options) {
+  Dfs dfs{program, verdict, options, ModelCheckResult{}, {}};
+  dfs.explore(options.preemption_bound);
+  if (options.preemption_bound != ModelCheckOptions::kUnbounded) {
+    // Bounded search covers a subset of schedules by design.
+    dfs.result.exhaustive = false;
+  }
+  return dfs.result;
+}
+
+std::string render_schedule(const Program& program,
+                            const std::vector<ProcId>& schedule) {
+  System sys{program};
+  std::string out;
+  for (const ProcId p : schedule) {
+    if (!sys.step(p)) {
+      out += "<process p" + std::to_string(p) + " not steppable>\n";
+      break;
+    }
+    out += sys.trace().back().to_string() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ruco::sim

@@ -1,0 +1,53 @@
+#include "ruco/sim/proc_set.h"
+
+#include <bit>
+
+namespace ruco::sim {
+
+std::size_t ProcSet::count() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool ProcSet::empty() const {
+  for (const auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool ProcSet::intersects(const ProcSet& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<ProcId> ProcSet::intersection(const ProcSet& other) const {
+  std::vector<ProcId> out;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t w = words_[i] & other.words_[i];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<ProcId>(i * 64 + static_cast<unsigned>(bit)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<ProcId> ProcSet::members() const {
+  std::vector<ProcId> out;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t w = words_[i];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<ProcId>(i * 64 + static_cast<unsigned>(bit)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace ruco::sim

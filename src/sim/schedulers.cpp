@@ -1,0 +1,122 @@
+#include "ruco/sim/schedulers.h"
+
+#include <algorithm>
+#include <utility>
+
+#include <vector>
+
+#include "ruco/util/rng.h"
+
+namespace ruco::sim {
+
+std::uint64_t run_round_robin(System& sys, std::uint64_t max_steps) {
+  std::uint64_t taken = 0;
+  bool any = true;
+  while (any && taken < max_steps) {
+    any = false;
+    for (ProcId p = 0; p < sys.num_processes() && taken < max_steps; ++p) {
+      if (sys.step(p)) {
+        ++taken;
+        any = true;
+      }
+    }
+  }
+  return taken;
+}
+
+std::uint64_t run_random(System& sys, std::uint64_t seed,
+                         std::uint64_t max_steps) {
+  util::SplitMix64 rng{seed};
+  std::uint64_t taken = 0;
+  std::vector<ProcId> live;
+  live.reserve(sys.num_processes());
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    if (sys.active(p)) live.push_back(p);
+  }
+  while (!live.empty() && taken < max_steps) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+    const ProcId p = live[i];
+    sys.step(p);
+    ++taken;
+    if (!sys.active(p)) {
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  return taken;
+}
+
+std::uint64_t run_solo(System& sys, ProcId p, std::uint64_t max_steps) {
+  std::uint64_t taken = 0;
+  while (sys.active(p) && taken < max_steps) {
+    sys.step(p);
+    ++taken;
+  }
+  return taken;
+}
+
+std::uint64_t run_script(System& sys, std::span<const ProcId> script) {
+  std::uint64_t taken = 0;
+  for (const ProcId p : script) {
+    if (!sys.step(p)) break;
+    ++taken;
+  }
+  return taken;
+}
+
+bool all_done(const System& sys) {
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    if (sys.active(p)) return false;
+  }
+  return true;
+}
+
+std::uint64_t run_pct(System& sys, const PctOptions& options) {
+  util::SplitMix64 rng{options.seed};
+  const std::size_t n = sys.num_processes();
+  // Distinct random priorities: a shuffled ramp, all above the demotion
+  // band [0, depth).
+  std::vector<std::uint64_t> priority(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    priority[i] = options.depth + i;
+  }
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(priority[i - 1],
+              priority[static_cast<std::size_t>(rng.below(i))]);
+  }
+  // depth-1 change points, uniform over the step budget estimate.
+  std::vector<std::uint64_t> change_points;
+  for (std::uint32_t d = 1; d < options.depth; ++d) {
+    change_points.push_back(rng.below(std::max<std::uint64_t>(
+        options.max_steps / 4, 1)));
+  }
+
+  std::vector<bool> eligible(n, options.only.empty());
+  for (const ProcId p : options.only) eligible[p] = true;
+
+  std::uint64_t taken = 0;
+  std::uint64_t next_demoted_priority = options.depth - 1;
+  while (taken < options.max_steps) {
+    ProcId best = UINT32_MAX;
+    for (ProcId p = 0; p < n; ++p) {
+      if (eligible[p] && sys.active(p) &&
+          (best == UINT32_MAX || priority[p] > priority[best])) {
+        best = p;
+      }
+    }
+    if (best == UINT32_MAX) break;
+    sys.step(best);
+    ++taken;
+    for (const std::uint64_t cp : change_points) {
+      if (cp == taken && next_demoted_priority != UINT64_MAX) {
+        priority[best] = next_demoted_priority;
+        next_demoted_priority =
+            next_demoted_priority == 0 ? UINT64_MAX
+                                       : next_demoted_priority - 1;
+      }
+    }
+  }
+  return taken;
+}
+
+}  // namespace ruco::sim

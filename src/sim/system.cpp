@@ -1,0 +1,285 @@
+#include "ruco/sim/system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ruco::sim {
+
+ObjectId Program::add_object(Value initial) {
+  object_init_.push_back(initial);
+  return static_cast<ObjectId>(object_init_.size() - 1);
+}
+
+ProcId Program::add_process(std::function<Op(Ctx&)> body) {
+  bodies_.push_back(std::move(body));
+  return static_cast<ProcId>(bodies_.size() - 1);
+}
+
+void Ctx::mark_invoke(std::string_view op, Value arg) {
+  auto& ps = sys_->procs_[id_];
+  ps.invoke_buffered = true;
+  ps.buffered_op = std::string{op};
+  ps.buffered_arg = arg;
+}
+
+void Ctx::mark_return(Value ret) {
+  // A zero-step operation would return with its invoke still buffered;
+  // stamp the invoke first so the pair stays ordered.
+  sys_->flush_invoke(id_);
+  sys_->history_.push_back(HistoryEvent{id_, HistoryEvent::Kind::kReturn,
+                                        std::string{}, ret, {},
+                                        sys_->clock_++});
+}
+
+void Ctx::mark_return_vec(std::vector<Value> ret) {
+  sys_->flush_invoke(id_);
+  sys_->history_.push_back(HistoryEvent{id_, HistoryEvent::Kind::kReturn,
+                                        std::string{}, 0, std::move(ret),
+                                        sys_->clock_++});
+}
+
+void System::flush_invoke(ProcId p) {
+  ProcState& ps = procs_[p];
+  if (!ps.invoke_buffered) return;
+  ps.invoke_buffered = false;
+  history_.push_back(HistoryEvent{p, HistoryEvent::Kind::kInvoke,
+                                  std::move(ps.buffered_op), ps.buffered_arg,
+                                  {}, clock_++});
+}
+
+System::System(const Program& program) {
+  const std::size_t n = program.num_processes();
+  objects_.reserve(program.num_objects());
+  for (const Value init : program.object_init_) {
+    ObjectState os;
+    os.value = init;
+    os.fam = ProcSet{n};
+    objects_.push_back(std::move(os));
+  }
+  // procs_ must never reallocate: coroutine frames hold Ctx&.
+  procs_ = std::vector<ProcState>(n);
+  for (ProcId p = 0; p < n; ++p) {
+    ProcState& ps = procs_[p];
+    ps.ctx.sys_ = this;
+    ps.ctx.id_ = p;
+    ps.aw = ProcSet{n};
+    ps.aw.add(p);  // initially, each process is aware only of itself
+    ps.op = program.bodies_[p](ps.ctx);
+    // Run to the first suspension so the enabled event is visible.
+    ps.op.resume_from_system();
+    if (ps.op.done() && !ps.has_pending) {
+      (void)ps.op.result();  // surface construction-time exceptions
+    }
+  }
+}
+
+void System::post_pending(ProcId p, const Pending& pending,
+                          std::coroutine_handle<> resume_point) {
+  ProcState& ps = procs_[p];
+  ps.pending = pending;
+  ps.has_pending = true;
+  ps.resume_point = resume_point;
+}
+
+bool System::pending_would_change(ProcId p) const {
+  const ProcState& ps = procs_[p];
+  if (!ps.has_pending) return false;
+  const Value current = objects_[ps.pending.obj].value;
+  switch (ps.pending.prim) {
+    case Prim::kRead:
+      return false;
+    case Prim::kWrite:
+      return ps.pending.arg != current;
+    case Prim::kCas:
+      return ps.pending.expected == current && ps.pending.arg != current;
+    case Prim::kKcas: {
+      bool all_match = true;
+      bool any_change = false;
+      for (const auto& entry : ps.pending.kcas) {
+        const Value now = objects_[entry.obj].value;
+        all_match = all_match && (now == entry.expected);
+        any_change = any_change || (entry.desired != now);
+      }
+      return all_match && any_change;
+    }
+  }
+  return false;
+}
+
+bool System::step(ProcId p) {
+  ProcState& ps = procs_[p];
+  if (!ps.has_pending) return false;
+  flush_invoke(p);  // the operation's interval begins at its first step
+  const Pending pending = ps.pending;
+  ps.has_pending = false;
+  apply(p, pending);
+  ps.steps += 1;
+  ps.last_step = trace_.size() - 1;
+  // Resume the innermost suspended coroutine; it either posts a new pending
+  // event or runs the op (chain) to completion.
+  ps.resume_point.resume();
+  if (!ps.has_pending && ps.op.done()) {
+    (void)ps.op.result();  // rethrow algorithm bugs eagerly
+  }
+  return true;
+}
+
+void System::apply(ProcId p, const Pending& pending) {
+  ObjectState& os = objects_[pending.obj];
+  ProcState& ps = procs_[p];
+  Event ev;
+  ev.proc = p;
+  ev.obj = pending.obj;
+  ev.prim = pending.prim;
+  ev.arg = pending.arg;
+  ev.expected = pending.expected;
+  const std::uint64_t index = trace_.size();
+
+  switch (pending.prim) {
+    case Prim::kRead:
+      ev.observed = os.value;
+      ev.changed = false;
+      ps.aw.unite(os.fam);  // Definition 2 case 1
+      ps.prim_result = ev.observed;
+      break;
+    case Prim::kWrite:
+      ev.changed = (os.value != pending.arg);
+      if (ev.changed) {
+        // Definition 1: an immediately-overwritten, never-observed write
+        // becomes invisible; retract its familiarity contribution.
+        retract_overwritten(os);
+        os.value = pending.arg;
+        os.contribs.push_back(
+            ObjectState::Contribution{index, p, ps.aw});
+        os.fam.unite(ps.aw);  // Definition 4
+      }
+      ps.prim_result = 0;
+      break;
+    case Prim::kCas: {
+      const bool success = (os.value == pending.expected);
+      ev.observed = success ? 1 : 0;
+      ev.changed = success && (pending.arg != os.value);
+      ps.aw.unite(os.fam);  // a CAS observes the object either way
+      if (ev.changed) {
+        os.value = pending.arg;
+        os.contribs.push_back(
+            ObjectState::Contribution{index, p, ps.aw});
+        os.fam.unite(ps.aw);
+      }
+      ps.prim_result = ev.observed;
+      break;
+    }
+    case Prim::kKcas: {
+      // Succeed iff every word matches; observe (and grow aware through)
+      // every touched object either way.
+      ev.kcas = pending.kcas;
+      bool all_match = true;
+      for (const auto& entry : pending.kcas) {
+        all_match = all_match && (objects_[entry.obj].value == entry.expected);
+      }
+      ev.observed = all_match ? 1 : 0;
+      for (const auto& entry : pending.kcas) {
+        ps.aw.unite(objects_[entry.obj].fam);
+      }
+      if (all_match) {
+        for (const auto& entry : pending.kcas) {
+          ObjectState& target = objects_[entry.obj];
+          if (target.value != entry.desired) {
+            ev.changed = true;
+            target.value = entry.desired;
+            target.contribs.push_back(
+                ObjectState::Contribution{index, p, ps.aw});
+            target.fam.unite(ps.aw);
+            knowledge_high_water_ =
+                std::max(knowledge_high_water_, target.fam.count());
+          }
+        }
+      }
+      knowledge_high_water_ = std::max(knowledge_high_water_, ps.aw.count());
+      // Every touched object records the access (blocks Definition 1
+      // retraction of whatever it last held).
+      for (const auto& entry : pending.kcas) {
+        objects_[entry.obj].last_access = index;
+      }
+      ps.prim_result = ev.observed;
+      break;
+    }
+  }
+  os.last_access = index;
+  switch (pending.prim) {
+    case Prim::kRead:
+      knowledge_high_water_ = std::max(knowledge_high_water_, ps.aw.count());
+      break;
+    case Prim::kWrite:
+    case Prim::kCas:
+      if (ev.changed) {
+        knowledge_high_water_ =
+            std::max(knowledge_high_water_, os.fam.count());
+      }
+      if (pending.prim == Prim::kCas) {
+        knowledge_high_water_ =
+            std::max(knowledge_high_water_, ps.aw.count());
+      }
+      break;
+    case Prim::kKcas:
+      break;  // tracked inline above
+  }
+  trace_.push_back(ev);
+  ++clock_;
+}
+
+void System::retract_overwritten(ObjectState& os) {
+  if (os.contribs.empty()) return;
+  const auto& top = os.contribs.back();
+  // The previous visible event on this object becomes invisible iff it was
+  // the most recent access to the object (nobody read it in between) and
+  // its issuer has taken no step since (Definition 1's two conditions).
+  if (top.event_index == os.last_access &&
+      procs_[top.proc].last_step == top.event_index) {
+    os.contribs.pop_back();
+    rebuild_familiarity(os);
+  }
+}
+
+void System::rebuild_familiarity(ObjectState& os) {
+  os.fam.clear();
+  for (const auto& c : os.contribs) os.fam.unite(c.aw);
+}
+
+std::size_t System::max_knowledge() const {
+  std::size_t best = 0;
+  for (const auto& ps : procs_) best = std::max(best, ps.aw.count());
+  for (const auto& os : objects_) best = std::max(best, os.fam.count());
+  return best;
+}
+
+ReplayResult replay_trace(System& fresh, const Trace& script,
+                          bool check_responses) {
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const Event& want = script[i];
+    const Pending* enabled = fresh.enabled(want.proc);
+    if (enabled == nullptr) {
+      return ReplayResult{false, i,
+                          "process completed early during replay"};
+    }
+    if (!fresh.step(want.proc)) {
+      return ReplayResult{false, i, "process not steppable during replay"};
+    }
+    const Event& got = fresh.trace().back();
+    if (!got.same_action(want)) {
+      return ReplayResult{false, i,
+                          "action mismatch: expected " + want.to_string() +
+                              ", got " + got.to_string()};
+    }
+    if (check_responses &&
+        (got.observed != want.observed || got.changed != want.changed)) {
+      return ReplayResult{false, i,
+                          "response mismatch: expected " + want.to_string() +
+                              ", got " + got.to_string()};
+    }
+  }
+  return ReplayResult{};
+}
+
+}  // namespace ruco::sim

@@ -1,0 +1,123 @@
+#include "ruco/simalgos/programs.h"
+
+#include <stdexcept>
+
+#include "ruco/util/bits.h"
+
+#include "ruco/simalgos/sim_counters.h"
+#include "ruco/simalgos/sim_max_registers.h"
+
+namespace ruco::simalgos {
+
+namespace {
+
+template <typename Reg>
+sim::Op maxreg_writer_body(const Reg* reg, sim::Ctx& ctx, Value v) {
+  ctx.mark_invoke("WriteMax", v);
+  co_await reg->write_max(ctx, v);
+  ctx.mark_return(0);
+  co_return 0;
+}
+
+template <typename Reg>
+sim::Op maxreg_reader_body(const Reg* reg, sim::Ctx& ctx) {
+  ctx.mark_invoke("ReadMax", 0);
+  const Value v = co_await reg->read_max(ctx);
+  ctx.mark_return(v);
+  co_return v;
+}
+
+template <typename Reg, typename... Args>
+MaxRegProgram make_maxreg_program(std::uint32_t k, Args&&... args) {
+  if (k < 2) throw std::invalid_argument{"maxreg program: k < 2"};
+  MaxRegProgram out;
+  auto reg =
+      std::make_shared<Reg>(out.program, std::forward<Args>(args)...);
+  out.algo = reg;
+  out.num_writers = k - 1;
+  for (std::uint32_t i = 0; i < k - 1; ++i) {
+    out.program.add_process(
+        [reg = reg.get(), v = static_cast<Value>(i) + 1](sim::Ctx& ctx) {
+          return maxreg_writer_body(reg, ctx, v);
+        });
+  }
+  out.reader = out.program.add_process([reg = reg.get()](sim::Ctx& ctx) {
+    return maxreg_reader_body(reg, ctx);
+  });
+  return out;
+}
+
+template <typename Counter>
+sim::Op counter_inc_body(const Counter* counter, sim::Ctx& ctx) {
+  ctx.mark_invoke("CounterIncrement", 0);
+  co_await counter->increment(ctx);
+  ctx.mark_return(0);
+  co_return 0;
+}
+
+template <typename Counter>
+sim::Op counter_read_body(const Counter* counter, sim::Ctx& ctx) {
+  ctx.mark_invoke("CounterRead", 0);
+  const Value v = co_await counter->read(ctx);
+  ctx.mark_return(v);
+  co_return v;
+}
+
+template <typename Counter, typename... Args>
+CounterProgram make_counter_program(std::uint32_t n, Args&&... args) {
+  if (n < 2) throw std::invalid_argument{"counter program: n < 2"};
+  CounterProgram out;
+  auto counter =
+      std::make_shared<Counter>(out.program, n, std::forward<Args>(args)...);
+  out.algo = counter;
+  out.num_incrementers = n - 1;
+  for (std::uint32_t i = 0; i < n - 1; ++i) {
+    out.program.add_process([counter = counter.get()](sim::Ctx& ctx) {
+      return counter_inc_body(counter, ctx);
+    });
+  }
+  out.reader =
+      out.program.add_process([counter = counter.get()](sim::Ctx& ctx) {
+        return counter_read_body(counter, ctx);
+      });
+  return out;
+}
+
+}  // namespace
+
+MaxRegProgram make_tree_maxreg_program(std::uint32_t k,
+                                       maxreg::Faithfulness mode) {
+  return make_maxreg_program<SimTreeMaxRegister>(k, k, mode);
+}
+
+MaxRegProgram make_cas_maxreg_program(std::uint32_t k) {
+  return make_maxreg_program<SimCasMaxRegister>(k);
+}
+
+MaxRegProgram make_aac_maxreg_program(std::uint32_t k, Value bound) {
+  if (bound < static_cast<Value>(k)) {
+    throw std::invalid_argument{"aac maxreg program: bound < k"};
+  }
+  return make_maxreg_program<SimAacMaxRegister>(k, bound);
+}
+
+MaxRegProgram make_unbounded_aac_maxreg_program(std::uint32_t k) {
+  // Writer operands reach k-1; groups up to floor(log2(k)) + 1 suffice.
+  const std::uint32_t groups = util::floor_log2(k) + 2;
+  return make_maxreg_program<SimUnboundedAacMaxRegister>(k, groups);
+}
+
+CounterProgram make_farray_counter_program(std::uint32_t n) {
+  return make_counter_program<SimFArrayCounter>(n);
+}
+
+CounterProgram make_maxreg_counter_program(std::uint32_t n,
+                                           Value max_increments) {
+  return make_counter_program<SimMaxRegCounter>(n, max_increments);
+}
+
+CounterProgram make_kcas_counter_program(std::uint32_t n) {
+  return make_counter_program<SimKcasCounter>(n);
+}
+
+}  // namespace ruco::simalgos

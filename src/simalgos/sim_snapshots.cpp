@@ -1,0 +1,90 @@
+#include "ruco/simalgos/sim_snapshots.h"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace ruco::simalgos {
+
+SimDoubleCollectSnapshot::SimDoubleCollectSnapshot(
+    sim::Program& program, std::uint32_t num_processes)
+    : n_{num_processes} {
+  if (num_processes == 0) {
+    throw std::invalid_argument{"SimDoubleCollectSnapshot: 0 processes"};
+  }
+  segments_.reserve(num_processes);
+  for (std::uint32_t i = 0; i < num_processes; ++i) {
+    segments_.push_back(program.add_object(pack(0, 0)));
+  }
+}
+
+sim::Op SimDoubleCollectSnapshot::update(sim::Ctx& ctx, Value v) const {
+  assert(v >= 0 && v <= kMaxValue);
+  const sim::ObjectId seg = segments_[ctx.id()];
+  const Value current = co_await ctx.read(seg);
+  co_await ctx.write(seg, pack(v, unpack_seq(current) + 1));
+  co_return 0;
+}
+
+sim::Op SimDoubleCollectSnapshot::increment_own(sim::Ctx& ctx) const {
+  const sim::ObjectId seg = segments_[ctx.id()];
+  const Value current = co_await ctx.read(seg);
+  co_await ctx.write(
+      seg, pack(unpack_value(current) + 1, unpack_seq(current) + 1));
+  co_return 0;
+}
+
+sim::Op SimDoubleCollectSnapshot::scan_into(sim::Ctx& ctx,
+                                            std::vector<Value>* out) const {
+  std::vector<Value> first(n_);
+  std::vector<Value> second(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    first[i] = co_await ctx.read(segments_[i]);
+  }
+  for (;;) {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      second[i] = co_await ctx.read(segments_[i]);
+    }
+    if (first == second) break;
+    first.swap(second);
+  }
+  out->clear();
+  out->reserve(n_);
+  for (const Value w : second) out->push_back(unpack_value(w));
+  co_return 0;
+}
+
+sim::Op SimDoubleCollectSnapshot::scan_sum(sim::Ctx& ctx) const {
+  std::vector<Value> view;
+  co_await scan_into(ctx, &view);
+  Value sum = 0;
+  for (const Value v : view) sum += v;
+  co_return sum;
+}
+
+CounterProgram make_dc_snapshot_counter_program(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument{"dc counter program: n < 2"};
+  CounterProgram out;
+  auto counter = std::make_shared<SimDcSnapshotCounter>(out.program, n);
+  out.algo = counter;
+  out.num_incrementers = n - 1;
+  for (std::uint32_t i = 0; i < n - 1; ++i) {
+    out.program.add_process(
+        [counter = counter.get()](sim::Ctx& ctx) -> sim::Op {
+          ctx.mark_invoke("CounterIncrement", 0);
+          co_await counter->increment(ctx);
+          ctx.mark_return(0);
+          co_return 0;
+        });
+  }
+  out.reader = out.program.add_process(
+      [counter = counter.get()](sim::Ctx& ctx) -> sim::Op {
+        ctx.mark_invoke("CounterRead", 0);
+        const Value v = co_await counter->read(ctx);
+        ctx.mark_return(v);
+        co_return v;
+      });
+  return out;
+}
+
+}  // namespace ruco::simalgos

@@ -1,0 +1,76 @@
+#include "ruco/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ruco::util {
+
+void Summary::add(std::uint64_t x) noexcept {
+  ++n_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double dx = static_cast<double>(x) - mean_;
+  mean_ += dx / static_cast<double>(n_);
+  m2_ += dx * (static_cast<double>(x) - mean_);
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  const double sum = std::accumulate(values_.begin(), values_.end(), 0.0);
+  return sum / static_cast<double>(values_.size());
+}
+
+std::uint64_t Samples::min() const {
+  if (values_.empty()) throw std::logic_error{"Samples::min: empty"};
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+std::uint64_t Samples::max() const {
+  if (values_.empty()) throw std::logic_error{"Samples::max: empty"};
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::uint64_t Samples::percentile(double p) {
+  if (values_.empty()) throw std::logic_error{"Samples::percentile: empty"};
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with at least ceil(p/100 * n) samples
+  // at or below it.
+  const auto n = values_.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return values_[rank - 1];
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += std::to_string(i) + ':' + std::to_string(counts_[i]);
+  }
+  if (overflow() != 0) {
+    if (!out.empty()) out += ' ';
+    out += ">=" + std::to_string(bucket_count()) + ':' +
+           std::to_string(overflow());
+  }
+  return out;
+}
+
+}  // namespace ruco::util

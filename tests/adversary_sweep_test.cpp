@@ -1,0 +1,105 @@
+// Parameterized sweeps of both adversaries across sizes and targets: the
+// machine-checked invariants (knowledge growth, essential-set properties,
+// replays, reader probes) must hold at every combination, not just the
+// spot sizes of adversary_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "ruco/adversary/counter_adversary.h"
+#include "ruco/adversary/maxreg_adversary.h"
+#include "ruco/simalgos/programs.h"
+#include "ruco/simalgos/sim_snapshots.h"
+
+namespace ruco::adversary {
+namespace {
+
+// ---------------------------------- Theorem 1 sweep: counter x size
+
+using CounterCase = std::tuple<std::string, std::uint32_t>;
+
+class CounterSweep : public ::testing::TestWithParam<CounterCase> {};
+
+simalgos::CounterProgram make_counter(const std::string& kind,
+                                      std::uint32_t n) {
+  if (kind == "maxreg") {
+    return simalgos::make_maxreg_counter_program(n, static_cast<Value>(n));
+  }
+  if (kind == "kcas") return simalgos::make_kcas_counter_program(n);
+  if (kind == "dcsnap") {
+    return simalgos::make_dc_snapshot_counter_program(n);
+  }
+  return simalgos::make_farray_counter_program(n);
+}
+
+TEST_P(CounterSweep, InvariantsAndCorrectness) {
+  const auto& [kind, n] = GetParam();
+  const auto report = run_counter_adversary(make_counter(kind, n));
+  EXPECT_TRUE(report.knowledge_bound_held)
+      << kind << " N=" << n << ": M(E_j) <= 3^j violated";
+  EXPECT_TRUE(report.reader_correct)
+      << kind << " N=" << n << ": reader got " << report.reader_value;
+  EXPECT_EQ(report.reader_awareness, static_cast<std::size_t>(n))
+      << kind << " N=" << n << ": Lemma 3 awareness";
+  // Universal floor: rounds >= log3(N / reader_steps).
+  const double bound =
+      std::log(static_cast<double>(n) /
+               std::max<double>(static_cast<double>(report.reader_steps), 1)) /
+      std::log(3.0);
+  EXPECT_GE(static_cast<double>(report.rounds), bound) << kind << " N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CounterSweep,
+    ::testing::Combine(::testing::Values("farray", "maxreg", "kcas",
+                                         "dcsnap"),
+                       ::testing::Values(8u, 16u, 33u, 64u, 100u)),
+    [](const ::testing::TestParamInfo<CounterCase>& param_info) {
+      return std::get<0>(param_info.param) + "_" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ---------------------------------- Theorem 3 sweep: register x size
+
+using MaxRegCase = std::tuple<std::string, std::uint32_t>;
+
+class MaxRegSweep : public ::testing::TestWithParam<MaxRegCase> {};
+
+simalgos::MaxRegProgram make_register(const std::string& kind,
+                                      std::uint32_t k) {
+  if (kind == "tree") return simalgos::make_tree_maxreg_program(k);
+  if (kind == "aac") {
+    return simalgos::make_aac_maxreg_program(k, static_cast<Value>(k));
+  }
+  if (kind == "uaac") return simalgos::make_unbounded_aac_maxreg_program(k);
+  return simalgos::make_cas_maxreg_program(k);
+}
+
+TEST_P(MaxRegSweep, EssentialSetMachinerySound) {
+  const auto& [kind, k] = GetParam();
+  MaxRegAdversaryOptions opts;
+  opts.min_active = 8;
+  opts.max_iterations = 20;
+  const auto report = run_maxreg_adversary(make_register(kind, k), opts);
+  EXPECT_TRUE(report.all_replays_ok) << kind << " K=" << k;
+  EXPECT_TRUE(report.all_invariants_ok)
+      << kind << " K=" << k << ": " << report.stop_reason;
+  EXPECT_TRUE(report.all_size_bounds_ok) << kind << " K=" << k;
+  EXPECT_TRUE(report.reader_ok)
+      << kind << " K=" << k << ": reader " << report.reader_value;
+  EXPECT_GE(report.iterations_completed, 1u) << kind << " K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MaxRegSweep,
+    ::testing::Combine(::testing::Values("cas", "tree", "aac", "uaac"),
+                       ::testing::Values(32u, 64u, 150u, 256u)),
+    [](const ::testing::TestParamInfo<MaxRegCase>& param_info) {
+      return std::get<0>(param_info.param) + "_" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace ruco::adversary

@@ -1,0 +1,124 @@
+// Golden step counts: exact shared-memory event counts for representative
+// operations, pinned so constant-factor regressions (an extra read in a
+// hot loop, a lost early-out) fail loudly instead of silently shifting the
+// benchmarks.  These are *exact* values of the current algorithms -- when
+// an intentional change shifts one, update it deliberately and note why.
+#include <gtest/gtest.h>
+
+#include "ruco/ruco.h"
+
+namespace ruco {
+namespace {
+
+template <typename F>
+std::uint64_t steps(F&& f) {
+  runtime::StepScope scope;
+  f();
+  return scope.taken();
+}
+
+TEST(GoldenSteps, TreeMaxRegisterWrites) {
+  // N = 16; fresh register per case.  8 steps per level (2 attempts x 4
+  // events) + 2 leaf events.
+  {
+    maxreg::TreeMaxRegister r{16};
+    EXPECT_EQ(steps([&] { r.write_max(0, 0); }), 18u);  // leaf 0: depth 2
+  }
+  {
+    maxreg::TreeMaxRegister r{16};
+    EXPECT_EQ(steps([&] { r.write_max(0, 1); }), 34u);  // depth 4
+  }
+  {
+    maxreg::TreeMaxRegister r{16};
+    EXPECT_EQ(steps([&] { r.write_max(0, 15); }), 42u);  // last B1 leaf
+  }
+  {
+    maxreg::TreeMaxRegister r{16};
+    EXPECT_EQ(steps([&] { r.write_max(3, 100); }), 42u);  // TR leaf: depth 5
+  }
+  {
+    // Duplicate-operand path with helping: 1 read + full propagation.
+    maxreg::TreeMaxRegister r{16};
+    r.write_max(0, 5);
+    EXPECT_EQ(steps([&] { r.write_max(1, 5); }), 49u);
+  }
+  {
+    maxreg::TreeMaxRegister r{16};
+    EXPECT_EQ(steps([&] { (void)r.read_max(0); }), 1u);
+  }
+}
+
+TEST(GoldenSteps, AacMaxRegister) {
+  // M = 1024 (10 levels): reads 11 (any_write + 10 switches); writes 11
+  // for both the all-left and all-right extremes (10 switch ops +
+  // any_write).
+  maxreg::AacMaxRegister r{1024};
+  EXPECT_EQ(steps([&] { r.write_max(0, 0); }), 11u);
+  EXPECT_EQ(steps([&] { r.write_max(0, 1023); }), 11u);
+  EXPECT_EQ(steps([&] { (void)r.read_max(0); }), 11u);
+}
+
+TEST(GoldenSteps, UnboundedAacMaxRegister) {
+  maxreg::UnboundedAacMaxRegister r{20};
+  EXPECT_EQ(steps([&] { r.write_max(0, 0); }), 2u);  // spine check + group 0
+  EXPECT_EQ(steps([&] { r.write_max(0, 1000); }), 20u);  // group 9
+  EXPECT_EQ(steps([&] { (void)r.read_max(0); }), 20u);
+}
+
+TEST(GoldenSteps, Counters) {
+  {
+    counter::FArrayCounter c{64};  // 6 levels x 8 + leaf write
+    EXPECT_EQ(steps([&] { c.increment(9); }), 49u);
+    EXPECT_EQ(steps([&] { (void)c.read(0); }), 1u);
+  }
+  {
+    counter::MaxRegCounter c{16, 255};  // U = 255: 8-level registers
+    EXPECT_EQ(steps([&] { c.increment(0); }), 70u);
+    EXPECT_EQ(steps([&] { (void)c.read(1); }), 9u);
+  }
+  {
+    counter::UnboundedMaxRegCounter c{16};
+    c.increment(0);
+    EXPECT_EQ(steps([&] { c.increment(0); }), 35u);  // count = 2: tiny logs
+    EXPECT_EQ(steps([&] { (void)c.read(1); }), 4u);
+  }
+  {
+    counter::FetchAddCounter c;
+    EXPECT_EQ(steps([&] { c.increment(0); }), 1u);
+    EXPECT_EQ(steps([&] { (void)c.read(0); }), 1u);
+  }
+}
+
+TEST(GoldenSteps, Snapshots) {
+  {
+    snapshot::FArraySnapshot s{32};  // 5 levels x 8 + leaf write
+    EXPECT_EQ(steps([&] { s.update(7, 3); }), 41u);
+    EXPECT_EQ(steps([&] { (void)s.scan(0); }), 1u);
+  }
+  {
+    snapshot::AfekSnapshot s{12};
+    EXPECT_EQ(steps([&] { s.update(0, 1); }), 25u);  // embedded scan + write
+    EXPECT_EQ(steps([&] { (void)s.scan(1); }), 24u);
+  }
+  {
+    snapshot::DoubleCollectSnapshot s{12};
+    EXPECT_EQ(steps([&] { s.update(0, 1); }), 1u);
+    EXPECT_EQ(steps([&] { (void)s.scan(1); }), 24u);
+  }
+}
+
+TEST(GoldenSteps, SoftwareMcas) {
+  kcas::McasArray a{4, 0, 2};
+  // 2-word MCAS, uncontended: status load + 2 x (RDCSS cas + complete's
+  // control load + complete's cas) + status cas + status load + 2 release
+  // CASes = 11 cell/status events.
+  EXPECT_EQ(steps([&] {
+              (void)a.mcas(0, {kcas::McasWord{0, 0, 1},
+                               kcas::McasWord{2, 0, 1}});
+            }),
+            11u);
+  EXPECT_EQ(steps([&] { (void)a.read(0, 1); }), 1u);
+}
+
+}  // namespace
+}  // namespace ruco

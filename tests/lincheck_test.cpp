@@ -1,0 +1,321 @@
+// The linearizability checker itself: known-good and known-bad histories
+// for all three specs, pending-operation semantics, precedence edge cases,
+// the recorder, and the sim-history bridge.
+#include <gtest/gtest.h>
+
+#include "ruco/lincheck/checker.h"
+#include "ruco/lincheck/history.h"
+#include "ruco/lincheck/specs.h"
+#include "ruco/runtime/thread_harness.h"
+
+namespace ruco::lincheck {
+namespace {
+
+OpRecord op(ProcId p, const char* name, Value arg, Value ret,
+            std::uint64_t inv, std::uint64_t rtn) {
+  OpRecord r;
+  r.proc = p;
+  r.op = name;
+  r.arg = arg;
+  r.ret = ret;
+  r.invoked = inv;
+  r.returned = rtn;
+  return r;
+}
+
+OpRecord pending_op(ProcId p, const char* name, Value arg,
+                    std::uint64_t inv) {
+  OpRecord r;
+  r.proc = p;
+  r.op = name;
+  r.arg = arg;
+  r.invoked = inv;
+  return r;
+}
+
+// ------------------------------------------------------ max register
+
+TEST(MaxRegCheck, EmptyHistoryIsLinearizable) {
+  const auto res = check_linearizable(History{}, MaxRegisterSpec{});
+  EXPECT_TRUE(res.linearizable);
+}
+
+TEST(MaxRegCheck, ConcurrentReadMayGoEitherWay) {
+  // Write and read overlap: returning either -inf or the value is legal.
+  for (const Value read_result : {kNoValue, Value{5}}) {
+    History h;
+    h.ops.push_back(op(0, "WriteMax", 5, 0, 0, 10));
+    h.ops.push_back(op(1, "ReadMax", 0, read_result, 1, 9));
+    const auto res = check_linearizable(h, MaxRegisterSpec{});
+    EXPECT_TRUE(res.linearizable) << "read=" << read_result;
+  }
+}
+
+TEST(MaxRegCheck, ReadCannotInventValues) {
+  History h;
+  h.ops.push_back(op(0, "WriteMax", 5, 0, 0, 1));
+  h.ops.push_back(op(1, "ReadMax", 0, 7, 2, 3));
+  const auto res = check_linearizable(h, MaxRegisterSpec{});
+  EXPECT_FALSE(res.linearizable);
+}
+
+TEST(MaxRegCheck, NewOldInversionRejected) {
+  // Two sequential reads around a write: 5 then -inf is impossible.
+  History h;
+  h.ops.push_back(op(0, "WriteMax", 5, 0, 0, 1));
+  h.ops.push_back(op(1, "ReadMax", 0, 5, 2, 3));
+  h.ops.push_back(op(1, "ReadMax", 0, kNoValue, 4, 5));
+  const auto res = check_linearizable(h, MaxRegisterSpec{});
+  EXPECT_FALSE(res.linearizable) << "max registers never regress";
+}
+
+TEST(MaxRegCheck, PendingWriteMayExplainRead) {
+  // A never-returned WriteMax(9) may still have taken effect.
+  History h;
+  h.ops.push_back(pending_op(0, "WriteMax", 9, 0));
+  h.ops.push_back(op(1, "ReadMax", 0, 9, 5, 6));
+  const auto res = check_linearizable(h, MaxRegisterSpec{});
+  EXPECT_TRUE(res.linearizable);
+}
+
+TEST(MaxRegCheck, PendingWriteMayAlsoNotHaveHappened) {
+  History h;
+  h.ops.push_back(pending_op(0, "WriteMax", 9, 0));
+  h.ops.push_back(op(1, "ReadMax", 0, kNoValue, 5, 6));
+  const auto res = check_linearizable(h, MaxRegisterSpec{});
+  EXPECT_TRUE(res.linearizable);
+}
+
+TEST(MaxRegCheck, CompletedWriteMustBeSeen) {
+  // The paper-gap scenario, hand-written: WriteMax(1) completed before the
+  // read, which returned -inf.  Another WriteMax(1) is still pending.
+  History h;
+  h.ops.push_back(pending_op(0, "WriteMax", 1, 0));
+  h.ops.push_back(op(1, "WriteMax", 1, 0, 1, 2));
+  h.ops.push_back(op(2, "ReadMax", 0, kNoValue, 3, 4));
+  const auto res = check_linearizable(h, MaxRegisterSpec{});
+  EXPECT_FALSE(res.linearizable);
+}
+
+TEST(MaxRegCheck, UnknownOperationRejected) {
+  History h;
+  h.ops.push_back(op(0, "Frobnicate", 1, 0, 0, 1));
+  EXPECT_FALSE(check_linearizable(h, MaxRegisterSpec{}).linearizable);
+}
+
+// ----------------------------------------------------------- counter
+
+TEST(CounterCheck, OverlappingIncrementsAllCount) {
+  History h;
+  h.ops.push_back(op(0, "CounterIncrement", 0, 0, 0, 5));
+  h.ops.push_back(op(1, "CounterIncrement", 0, 0, 1, 6));
+  h.ops.push_back(op(2, "CounterRead", 0, 2, 7, 8));
+  EXPECT_TRUE(check_linearizable(h, CounterSpec{}).linearizable);
+}
+
+TEST(CounterCheck, ReadCannotExceedInvokedIncrements) {
+  History h;
+  h.ops.push_back(op(0, "CounterIncrement", 0, 0, 0, 1));
+  h.ops.push_back(op(1, "CounterRead", 0, 2, 2, 3));
+  EXPECT_FALSE(check_linearizable(h, CounterSpec{}).linearizable);
+}
+
+TEST(CounterCheck, ReadCannotMissCompletedIncrements) {
+  History h;
+  h.ops.push_back(op(0, "CounterIncrement", 0, 0, 0, 1));
+  h.ops.push_back(op(1, "CounterRead", 0, 0, 2, 3));
+  EXPECT_FALSE(check_linearizable(h, CounterSpec{}).linearizable);
+}
+
+TEST(CounterCheck, ConcurrentReadStraddles) {
+  // Read overlaps one increment: 0 or 1 both fine, 2 not.
+  for (const auto& [ret, want] :
+       std::vector<std::pair<Value, bool>>{{0, true}, {1, true}, {2, false}}) {
+    History h;
+    h.ops.push_back(op(0, "CounterIncrement", 0, 0, 2, 6));
+    h.ops.push_back(op(1, "CounterRead", 0, ret, 1, 7));
+    EXPECT_EQ(check_linearizable(h, CounterSpec{}).linearizable, want)
+        << "ret=" << ret;
+  }
+}
+
+// ---------------------------------------------------------- snapshot
+
+OpRecord scan_op(ProcId p, std::vector<Value> view, std::uint64_t inv,
+                 std::uint64_t rtn) {
+  OpRecord r;
+  r.proc = p;
+  r.op = "Scan";
+  r.ret_vec = std::move(view);
+  r.invoked = inv;
+  r.returned = rtn;
+  return r;
+}
+
+TEST(SnapshotCheck, SequentialUpdatesVisible) {
+  History h;
+  h.ops.push_back(op(0, "Update", 4, 0, 0, 1));
+  h.ops.push_back(op(1, "Update", 9, 0, 2, 3));
+  h.ops.push_back(scan_op(2, {4, 9, 0}, 4, 5));
+  EXPECT_TRUE(check_linearizable(h, SnapshotSpec{3}).linearizable);
+}
+
+TEST(SnapshotCheck, TornScanRejected) {
+  // u0 completes before u1 starts; a scan after both cannot show u1's
+  // value without u0's.
+  History h;
+  h.ops.push_back(op(0, "Update", 4, 0, 0, 1));
+  h.ops.push_back(op(1, "Update", 9, 0, 2, 3));
+  h.ops.push_back(scan_op(2, {0, 9, 0}, 4, 5));
+  EXPECT_FALSE(check_linearizable(h, SnapshotSpec{3}).linearizable);
+}
+
+TEST(SnapshotCheck, ConcurrentScanMayTakeEitherSide) {
+  for (const Value seg0 : {Value{0}, Value{4}}) {
+    History h;
+    h.ops.push_back(op(0, "Update", 4, 0, 0, 6));
+    h.ops.push_back(scan_op(2, {seg0, 0, 0}, 1, 5));
+    EXPECT_TRUE(check_linearizable(h, SnapshotSpec{3}).linearizable)
+        << "seg0=" << seg0;
+  }
+}
+
+TEST(SnapshotCheck, ScansMustAgreeOnOrder) {
+  // Two sequential scans must not observe updates in opposite orders.
+  History h;
+  h.ops.push_back(op(0, "Update", 1, 0, 0, 10));
+  h.ops.push_back(op(1, "Update", 2, 0, 0, 10));
+  h.ops.push_back(scan_op(2, {1, 0, 0}, 11, 12));
+  h.ops.push_back(scan_op(2, {0, 2, 0}, 13, 14));
+  EXPECT_FALSE(check_linearizable(h, SnapshotSpec{3}).linearizable);
+}
+
+// ---------------------------------------------------------- machinery
+
+TEST(History, PrecedenceRequiresReturnBeforeInvoke) {
+  const auto a = op(0, "ReadMax", 0, 0, 0, 5);
+  const auto b = op(1, "ReadMax", 0, 0, 6, 7);
+  const auto c = op(2, "ReadMax", 0, 0, 3, 8);
+  EXPECT_TRUE(a.precedes(b));
+  EXPECT_FALSE(b.precedes(a));
+  EXPECT_FALSE(a.precedes(c)) << "overlapping ops are concurrent";
+  EXPECT_FALSE(c.precedes(a));
+}
+
+TEST(History, PendingNeverPrecedes) {
+  const auto p = pending_op(0, "WriteMax", 1, 0);
+  const auto b = op(1, "ReadMax", 0, 0, 100, 101);
+  EXPECT_FALSE(p.precedes(b));
+  EXPECT_TRUE(p.pending());
+}
+
+TEST(History, WithoutPendingFilters) {
+  History h;
+  h.ops.push_back(pending_op(0, "WriteMax", 1, 0));
+  h.ops.push_back(op(1, "ReadMax", 0, 0, 1, 2));
+  EXPECT_EQ(h.pending_count(), 1u);
+  EXPECT_EQ(h.without_pending().size(), 1u);
+}
+
+TEST(Recorder, HarvestSortsByInvocation) {
+  Recorder rec{2};
+  const auto s0 = rec.begin(0, "WriteMax", 1);
+  const auto s1 = rec.begin(1, "ReadMax", 0);
+  rec.end(1, s1, kNoValue);
+  rec.end(0, s0, 0);
+  const auto h = rec.harvest();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.ops[0].op, "WriteMax");
+  EXPECT_EQ(h.ops[1].op, "ReadMax");
+  EXPECT_LT(h.ops[0].invoked, h.ops[1].invoked);
+  EXPECT_LT(h.ops[1].returned, h.ops[0].returned);
+}
+
+TEST(Recorder, ThreadedStampsAreConsistent) {
+  Recorder rec{4};
+  runtime::run_threads(4, [&rec](std::size_t t) {
+    for (int i = 0; i < 100; ++i) {
+      const auto slot = rec.begin(static_cast<ProcId>(t), "ReadMax", 0);
+      rec.end(static_cast<ProcId>(t), slot, 0);
+    }
+  });
+  const auto h = rec.harvest();
+  ASSERT_EQ(h.size(), 400u);
+  for (const auto& o : h.ops) EXPECT_LT(o.invoked, o.returned);
+}
+
+TEST(Checker, BudgetExhaustionIsUndecidedNotFalse) {
+  History h;
+  for (int i = 0; i < 12; ++i) {
+    h.ops.push_back(op(static_cast<ProcId>(i), "CounterIncrement", 0, 0, 0,
+                       1000));  // all concurrent
+  }
+  h.ops.push_back(op(12, "CounterRead", 0, 6, 0, 1000));
+  const auto res = check_linearizable(h, CounterSpec{}, /*max_states=*/5);
+  EXPECT_FALSE(res.decided);
+}
+
+TEST(Checker, WitnessIsALegalLinearization) {
+  History h;
+  h.ops.push_back(op(0, "WriteMax", 5, 0, 0, 10));
+  h.ops.push_back(op(1, "ReadMax", 0, kNoValue, 1, 4));  // before the write
+  h.ops.push_back(op(2, "ReadMax", 0, 5, 5, 9));         // after it landed
+  h.ops.push_back(op(1, "ReadMax", 0, 5, 11, 12));
+  MaxRegisterSpec spec;
+  const auto res = check_linearizable(h, spec);
+  ASSERT_TRUE(res.linearizable);
+  ASSERT_EQ(res.witness.size(), h.ops.size());
+  // Replaying the witness through the spec reproduces every response.
+  MaxRegisterSpec::State state = spec.initial();
+  for (const std::size_t i : res.witness) {
+    const auto next = spec.apply(state, h.ops[i]);
+    ASSERT_TRUE(next.has_value()) << "witness step " << i;
+    state = *next;
+  }
+  // Precedence respected: the early read linearizes before the late one.
+  std::size_t pos_early = 0;
+  std::size_t pos_late = 0;
+  for (std::size_t k = 0; k < res.witness.size(); ++k) {
+    if (res.witness[k] == 1) pos_early = k;
+    if (res.witness[k] == 3) pos_late = k;
+  }
+  EXPECT_LT(pos_early, pos_late);
+}
+
+TEST(Checker, WitnessMayOmitPendingOps) {
+  History h;
+  h.ops.push_back(pending_op(0, "WriteMax", 9, 0));
+  h.ops.push_back(op(1, "ReadMax", 0, kNoValue, 5, 6));
+  const auto res = check_linearizable(h, MaxRegisterSpec{});
+  ASSERT_TRUE(res.linearizable);
+  EXPECT_EQ(res.witness.size(), 1u) << "the unseen pending write is omitted";
+  EXPECT_EQ(res.witness[0], 1u);
+}
+
+TEST(Checker, NoWitnessOnFailure) {
+  History h;
+  h.ops.push_back(op(0, "WriteMax", 5, 0, 0, 1));
+  h.ops.push_back(op(1, "ReadMax", 0, kNoValue, 2, 3));
+  const auto res = check_linearizable(h, MaxRegisterSpec{});
+  ASSERT_FALSE(res.linearizable);
+  EXPECT_TRUE(res.witness.empty());
+}
+
+TEST(Checker, DeepSequentialHistoryIsFast) {
+  History h;
+  Value count = 0;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 400; ++i) {
+    h.ops.push_back(op(0, "CounterIncrement", 0, 0, t, t + 1));
+    t += 2;
+    ++count;
+    h.ops.push_back(op(1, "CounterRead", 0, count, t, t + 1));
+    t += 2;
+  }
+  const auto res = check_linearizable(h, CounterSpec{});
+  EXPECT_TRUE(res.linearizable);
+  EXPECT_TRUE(res.decided);
+}
+
+}  // namespace
+}  // namespace ruco::lincheck

@@ -1,0 +1,301 @@
+// Production max registers: sequential semantics shared by every
+// implementation (typed tests), Algorithm A's Theorem 6 step bounds, AAC's
+// O(log M) bounds, bounds enforcement, and threaded stress with
+// linearizability checking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ruco/lincheck/checker.h"
+#include "ruco/lincheck/specs.h"
+#include "ruco/maxreg/aac_max_register.h"
+#include "ruco/maxreg/cas_max_register.h"
+#include "ruco/maxreg/lock_max_register.h"
+#include "ruco/maxreg/tree_max_register.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/runtime/thread_harness.h"
+#include "ruco/util/bits.h"
+#include "ruco/util/rng.h"
+
+namespace ruco::maxreg {
+namespace {
+
+constexpr std::uint32_t kProcs = 8;
+constexpr Value kBound = 1 << 16;
+
+// Adapters give every implementation the same constructor shape.
+struct TreeAdapter : TreeMaxRegister {
+  TreeAdapter() : TreeMaxRegister{kProcs} {}
+};
+struct TreeFaithfulAdapter : TreeMaxRegister {
+  TreeFaithfulAdapter() : TreeMaxRegister{kProcs, Faithfulness::kAsPrinted} {}
+};
+struct AacAdapter : AacMaxRegister {
+  AacAdapter() : AacMaxRegister{kBound} {}
+};
+struct CasAdapter : CasMaxRegister {};
+struct LockAdapter : LockMaxRegister {};
+
+template <typename Reg>
+class MaxRegisterSemantics : public ::testing::Test {};
+
+using AllMaxRegisters =
+    ::testing::Types<TreeAdapter, TreeFaithfulAdapter, AacAdapter, CasAdapter,
+                     LockAdapter>;
+TYPED_TEST_SUITE(MaxRegisterSemantics, AllMaxRegisters);
+
+TYPED_TEST(MaxRegisterSemantics, FreshRegisterReadsNoValue) {
+  TypeParam reg;
+  EXPECT_EQ(reg.read_max(0), kNoValue);
+}
+
+TYPED_TEST(MaxRegisterSemantics, ReadsLargestWrite) {
+  TypeParam reg;
+  reg.write_max(0, 10);
+  EXPECT_EQ(reg.read_max(1), 10);
+  reg.write_max(1, 4);
+  EXPECT_EQ(reg.read_max(2), 10) << "smaller write must not regress";
+  reg.write_max(2, 25);
+  EXPECT_EQ(reg.read_max(0), 25);
+}
+
+TYPED_TEST(MaxRegisterSemantics, ZeroIsAValidOperand) {
+  TypeParam reg;
+  reg.write_max(0, 0);
+  EXPECT_EQ(reg.read_max(1), 0);
+}
+
+TYPED_TEST(MaxRegisterSemantics, RepeatedSameValueIsIdempotent) {
+  TypeParam reg;
+  for (ProcId p = 0; p < kProcs; ++p) reg.write_max(p, 42);
+  EXPECT_EQ(reg.read_max(0), 42);
+}
+
+TYPED_TEST(MaxRegisterSemantics, SequentialRandomWritesTrackMax) {
+  TypeParam reg;
+  util::SplitMix64 rng{99};
+  Value expected = kNoValue;
+  for (int i = 0; i < 500; ++i) {
+    const Value v = static_cast<Value>(rng.below(kBound));
+    const ProcId p = static_cast<ProcId>(rng.below(kProcs));
+    reg.write_max(p, v);
+    expected = std::max(expected, v);
+    ASSERT_EQ(reg.read_max(p), expected) << "after write " << i;
+  }
+}
+
+TYPED_TEST(MaxRegisterSemantics, AscendingPerProcessWrites) {
+  TypeParam reg;
+  for (Value v = 0; v < 100; ++v) {
+    reg.write_max(static_cast<ProcId>(v % kProcs), v);
+    ASSERT_EQ(reg.read_max(0), v);
+  }
+}
+
+// ------------------------------------------------ Theorem 6 step bounds
+
+TEST(TreeMaxRegisterSteps, ReadIsOneStep) {
+  TreeMaxRegister reg{64};
+  reg.write_max(0, 17);
+  for (int i = 0; i < 10; ++i) {
+    runtime::StepScope scope;
+    (void)reg.read_max(1);
+    EXPECT_EQ(scope.taken(), 1u);  // O(1), and in fact exactly 1
+  }
+}
+
+class TreeWriteStepsTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeWriteStepsTest, WriteIsMinLogNLogV) {
+  const std::uint32_t n = GetParam();
+  TreeMaxRegister reg{n};
+  // Per level: 2 attempts x (read node + read left + read right + CAS) = 8
+  // steps, plus the leaf read+write.  depth(v) <= 2 log2(v+1) + 3 for the
+  // B1 side and <= log2(N) + 1 for the complete side.
+  for (const Value v :
+       {Value{0}, Value{1}, Value{3}, Value{7}, Value{n / 2},
+        Value{n} * 2, Value{n} * 1000}) {
+    runtime::StepScope scope;
+    reg.write_max(0, v);
+    // Operands v < N go to the B1 leaf (depth <= 2 log2(v+1) + 3, which is
+    // O(log v) = O(min(log N, log v)) since v < N); operands v >= N go to
+    // the process leaf (depth <= log2(N) + 1 = O(log N)).
+    const std::uint64_t depth_bound =
+        v < static_cast<Value>(n)
+            ? 2 * util::floor_log2(static_cast<std::uint64_t>(v) + 1) + 3
+            : util::ceil_log2(n) + 1;
+    EXPECT_LE(scope.taken(), 8 * depth_bound + 2) << "N=" << n << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeWriteStepsTest,
+                         ::testing::Values(2, 4, 16, 64, 256, 1024));
+
+TEST(TreeMaxRegisterSteps, SmallValueWritesAreCheapInHugeRegisters) {
+  // The B1 payoff: WriteMax(1) costs the same at N=4 and N=4096.
+  TreeMaxRegister small{4};
+  TreeMaxRegister large{4096};
+  runtime::StepScope s1;
+  small.write_max(0, 1);
+  const auto small_steps = s1.taken();
+  runtime::StepScope s2;
+  large.write_max(0, 1);
+  EXPECT_EQ(s2.taken(), small_steps);
+}
+
+TEST(TreeMaxRegister, WriteLeafDepthMatchesRegime) {
+  TreeMaxRegister reg{256};
+  // v < N: B1 leaf, depth grows with v.
+  EXPECT_LT(reg.write_leaf_depth(0, 1), reg.write_leaf_depth(0, 200));
+  // v >= N: process leaf, depth independent of v.
+  EXPECT_EQ(reg.write_leaf_depth(3, 256), reg.write_leaf_depth(3, 1 << 20));
+}
+
+// ----------------------------------------------------- AAC specifics
+
+TEST(AacMaxRegister, RejectsOutOfRange) {
+  AacMaxRegister reg{16};
+  EXPECT_THROW(reg.write_max(0, 16), std::out_of_range);
+  EXPECT_THROW(reg.write_max(0, 1000), std::out_of_range);
+  reg.write_max(0, 15);  // bound - 1 is fine
+  EXPECT_EQ(reg.read_max(0), 15);
+}
+
+TEST(AacMaxRegister, BoundOneStoresOnlyZero) {
+  AacMaxRegister reg{1};
+  EXPECT_EQ(reg.read_max(0), kNoValue);
+  reg.write_max(0, 0);
+  EXPECT_EQ(reg.read_max(0), 0);
+  EXPECT_THROW(reg.write_max(0, 1), std::out_of_range);
+}
+
+TEST(AacMaxRegister, NonPowerOfTwoBound) {
+  AacMaxRegister reg{100};
+  for (const Value v : {99, 50, 98, 0}) reg.write_max(0, v);
+  EXPECT_EQ(reg.read_max(0), 99);
+}
+
+class AacStepsTest : public ::testing::TestWithParam<Value> {};
+
+TEST_P(AacStepsTest, BothOpsLogM) {
+  const Value bound = GetParam();
+  AacMaxRegister reg{bound};
+  const auto log_m = static_cast<std::uint64_t>(
+      util::ceil_log2(static_cast<std::uint64_t>(bound)));
+  util::SplitMix64 rng{5};
+  for (int i = 0; i < 50; ++i) {
+    const Value v = static_cast<Value>(rng.below(
+        static_cast<std::uint64_t>(bound)));
+    runtime::StepScope w;
+    reg.write_max(0, v);
+    EXPECT_LE(w.taken(), 2 * log_m + 1) << "write " << v;
+    runtime::StepScope r;
+    (void)reg.read_max(0);
+    EXPECT_LE(r.taken(), log_m + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, AacStepsTest,
+                         ::testing::Values(2, 8, 100, 1024, 1 << 16, 1 << 20));
+
+TEST(AacMaxRegister, ReadStepsAreExactlyLogM) {
+  // Tight, not just O(log M): ceil(log2 M) switch reads + the any-write
+  // read.
+  AacMaxRegister reg{1024};
+  reg.write_max(0, 700);
+  runtime::StepScope scope;
+  (void)reg.read_max(0);
+  EXPECT_EQ(scope.taken(), 11u);  // 10 levels + 1
+}
+
+// --------------------------------------------------- threaded stress
+
+template <typename Reg>
+void stress_writers_readers(Reg& reg, std::uint32_t threads,
+                            int ops_per_thread, std::uint64_t seed) {
+  lincheck::Recorder recorder{threads};
+  runtime::run_threads(threads, [&](std::size_t t) {
+    util::SplitMix64 rng{seed + t};
+    const auto proc = static_cast<ProcId>(t);
+    for (int i = 0; i < ops_per_thread; ++i) {
+      if (rng.chance(1, 2)) {
+        const Value v = static_cast<Value>(rng.below(kBound));
+        const auto slot = recorder.begin(proc, "WriteMax", v);
+        reg.write_max(proc, v);
+        recorder.end(proc, slot, 0);
+      } else {
+        const auto slot = recorder.begin(proc, "ReadMax", 0);
+        const Value v = reg.read_max(proc);
+        recorder.end(proc, slot, v);
+      }
+    }
+  });
+  const auto history = recorder.harvest();
+  ASSERT_EQ(history.size(),
+            static_cast<std::size_t>(threads) * ops_per_thread);
+  const auto res =
+      lincheck::check_linearizable(history, lincheck::MaxRegisterSpec{});
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.linearizable) << res.message;
+}
+
+TEST(MaxRegisterStress, TreeLinearizableUnderThreads) {
+  TreeMaxRegister reg{kProcs};
+  stress_writers_readers(reg, 4, 60, 2024);
+}
+
+TEST(MaxRegisterStress, AacLinearizableUnderThreads) {
+  AacMaxRegister reg{kBound};
+  stress_writers_readers(reg, 4, 60, 2025);
+}
+
+TEST(MaxRegisterStress, CasLinearizableUnderThreads) {
+  CasMaxRegister reg;
+  stress_writers_readers(reg, 4, 60, 2026);
+}
+
+TEST(MaxRegisterStress, TreeManyThreadsFinalValue) {
+  constexpr std::uint32_t kThreads = 8;
+  constexpr Value kPerThread = 500;
+  TreeMaxRegister reg{kThreads};
+  runtime::run_threads(kThreads, [&](std::size_t t) {
+    util::SplitMix64 rng{t * 31 + 1};
+    for (Value i = 0; i < kPerThread; ++i) {
+      reg.write_max(static_cast<ProcId>(t),
+                    static_cast<Value>(rng.below(1 << 20)));
+    }
+  });
+  // After quiescence the root holds the global max; replay the RNG streams
+  // to compute it.
+  Value expected = kNoValue;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    util::SplitMix64 rng{t * 31 + 1};
+    for (Value i = 0; i < kPerThread; ++i) {
+      expected = std::max(expected, static_cast<Value>(rng.below(1 << 20)));
+    }
+  }
+  EXPECT_EQ(reg.read_max(0), expected);
+}
+
+TEST(MaxRegisterStress, MonotoneReadsPerObserver) {
+  // Regardless of writer chaos, a single observer's reads never decrease.
+  TreeMaxRegister reg{4};
+  std::vector<Value> observed;
+  runtime::run_threads(4, [&](std::size_t t) {
+    if (t == 0) {
+      observed.reserve(4000);
+      for (int i = 0; i < 4000; ++i) observed.push_back(reg.read_max(0));
+    } else {
+      util::SplitMix64 rng{t};
+      for (int i = 0; i < 1500; ++i) {
+        reg.write_max(static_cast<ProcId>(t),
+                      static_cast<Value>(rng.below(1 << 30)));
+      }
+    }
+  });
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+}
+
+}  // namespace
+}  // namespace ruco::maxreg

@@ -1,0 +1,244 @@
+// Software multi-word CAS (Harris-Fraser-Pratt) and the 2-CAS counter
+// built on it: sequential semantics, atomicity (no partial installs ever
+// observable), input validation, threaded stress with helping, and
+// linearizability of the derived counter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "ruco/counter/kcas_counter.h"
+#include "ruco/kcas/mcas.h"
+#include "ruco/lincheck/checker.h"
+#include "ruco/lincheck/specs.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/runtime/thread_harness.h"
+#include "ruco/util/rng.h"
+
+namespace ruco::kcas {
+namespace {
+
+TEST(Mcas, InitializesAllCells) {
+  McasArray arr{4, 7, 2};
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(arr.read(0, i), 7);
+}
+
+TEST(Mcas, SucceedsWhenAllMatch) {
+  McasArray arr{3, 0, 2};
+  EXPECT_TRUE(arr.mcas(0, {McasWord{0, 0, 10}, McasWord{2, 0, 30}}));
+  EXPECT_EQ(arr.read(0, 0), 10);
+  EXPECT_EQ(arr.read(0, 1), 0) << "untouched cell unchanged";
+  EXPECT_EQ(arr.read(0, 2), 30);
+}
+
+TEST(Mcas, FailsAtomicallyOnAnyMismatch) {
+  McasArray arr{3, 0, 2};
+  EXPECT_FALSE(arr.mcas(0, {McasWord{0, 0, 10}, McasWord{2, 99, 30}}));
+  EXPECT_EQ(arr.read(0, 0), 0) << "no partial install";
+  EXPECT_EQ(arr.read(0, 2), 0);
+}
+
+TEST(Mcas, SingleWordDegeneratesToCas) {
+  McasArray arr{1, 5, 1};
+  EXPECT_TRUE(arr.mcas(0, {McasWord{0, 5, 6}}));
+  EXPECT_FALSE(arr.mcas(0, {McasWord{0, 5, 7}}));
+  EXPECT_EQ(arr.read(0, 0), 6);
+}
+
+TEST(Mcas, EmptyIsVacuouslyTrue) {
+  McasArray arr{1, 0, 1};
+  EXPECT_TRUE(arr.mcas(0, {}));
+}
+
+TEST(Mcas, UnsortedInputIsSortedInternally) {
+  McasArray arr{4, 1, 1};
+  EXPECT_TRUE(arr.mcas(0, {McasWord{3, 1, 4}, McasWord{0, 1, 2}}));
+  EXPECT_EQ(arr.read(0, 0), 2);
+  EXPECT_EQ(arr.read(0, 3), 4);
+}
+
+TEST(Mcas, RejectsBadInput) {
+  McasArray arr{2, 0, 1};
+  EXPECT_THROW(arr.mcas(0, {McasWord{5, 0, 1}}), std::out_of_range);
+  EXPECT_THROW(arr.mcas(0, {McasWord{0, 0, 1}, McasWord{0, 0, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(arr.mcas(0, {McasWord{0, 0, McasArray::kMaxValue + 1}}),
+               std::out_of_range);
+  EXPECT_THROW((McasArray{0, 0, 1}), std::invalid_argument);
+}
+
+TEST(Mcas, NegativeValuesRoundTrip) {
+  McasArray arr{1, -5, 1};
+  EXPECT_EQ(arr.read(0, 0), -5);
+  EXPECT_TRUE(arr.mcas(0, {McasWord{0, -5, McasArray::kMinValue}}));
+  EXPECT_EQ(arr.read(0, 0), McasArray::kMinValue);
+}
+
+TEST(Mcas, SequentialRandomAgainstOracle) {
+  constexpr std::uint32_t kCells = 6;
+  McasArray arr{kCells, 0, 1};
+  std::vector<Value> oracle(kCells, 0);
+  util::SplitMix64 rng{71};
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.below(kCells));
+    auto b = static_cast<std::uint32_t>(rng.below(kCells));
+    if (b == a) b = (b + 1) % kCells;
+    // Half the time feed a stale expected value: must fail cleanly.
+    const bool stale = rng.chance(1, 2);
+    const Value ea = stale ? oracle[a] + 1000 : oracle[a];
+    const bool ok = arr.mcas(0, {McasWord{a, ea, oracle[a] + 1},
+                                 McasWord{b, oracle[b], oracle[b] + 1}});
+    EXPECT_EQ(ok, !stale) << "op " << i;
+    if (ok) {
+      ++oracle[a];
+      ++oracle[b];
+    }
+    for (std::uint32_t c = 0; c < kCells; ++c) {
+      ASSERT_EQ(arr.read(0, c), oracle[c]) << "op " << i << " cell " << c;
+    }
+  }
+}
+
+TEST(Mcas, UncontendedStepCost) {
+  // ~3k+1 CAS-object steps for a k-word MCAS: the software price of the
+  // stronger primitive.
+  McasArray arr{4, 0, 1};
+  runtime::StepScope scope;
+  (void)arr.mcas(0, {McasWord{0, 0, 1}, McasWord{1, 0, 1}});
+  EXPECT_LE(scope.taken(), 16u);
+  EXPECT_GE(scope.taken(), 7u);
+}
+
+TEST(McasStress, DisjointPairsNeverInterfere) {
+  // Threads 0/1 hammer cells {0,1}, threads 2/3 hammer {2,3}: totals per
+  // pair must be exact (atomicity within a pair, isolation across pairs).
+  constexpr int kPerThread = 4000;
+  McasArray arr{4, 0, 4};
+  runtime::run_threads(4, [&arr](std::size_t t) {
+    const auto proc = static_cast<ProcId>(t);
+    const std::uint32_t base = t < 2 ? 0 : 2;
+    for (int i = 0; i < kPerThread; ++i) {
+      for (;;) {
+        const Value a = arr.read(proc, base);
+        const Value b = arr.read(proc, base + 1);
+        if (arr.mcas(proc, {McasWord{base, a, a + 1},
+                            McasWord{base + 1, b, b + 1}})) {
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(arr.read(0, 0), 2 * kPerThread);
+  EXPECT_EQ(arr.read(0, 1), 2 * kPerThread);
+  EXPECT_EQ(arr.read(0, 2), 2 * kPerThread);
+  EXPECT_EQ(arr.read(0, 3), 2 * kPerThread);
+}
+
+TEST(McasStress, OverlappingWordsStayCoupled) {
+  // Every thread 2-CASes (own cell, shared cell) keeping the invariant
+  // shared == sum(own cells); readers must never observe it broken.
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kPerThread = 2500;
+  McasArray arr{kThreads + 1, 0, kThreads + 1};
+  std::atomic<bool> broken{false};
+  runtime::run_threads(kThreads + 1, [&](std::size_t t) {
+    const auto proc = static_cast<ProcId>(t);
+    if (t == kThreads) {
+      // Auditor: snapshot-free spot checks -- the shared total must always
+      // be >= each own cell's value and <= kThreads * kPerThread.
+      for (int i = 0; i < 20'000; ++i) {
+        const Value total = arr.read(proc, kThreads);
+        if (total < 0 || total > kThreads * kPerThread) broken.store(true);
+      }
+      return;
+    }
+    for (int i = 0; i < kPerThread; ++i) {
+      for (;;) {
+        const Value own = arr.read(proc, static_cast<std::uint32_t>(t));
+        const Value total = arr.read(proc, kThreads);
+        if (arr.mcas(proc,
+                     {McasWord{static_cast<std::uint32_t>(t), own, own + 1},
+                      McasWord{kThreads, total, total + 1}})) {
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_FALSE(broken.load());
+  Value sum = 0;
+  for (std::uint32_t c = 0; c < kThreads; ++c) sum += arr.read(0, c);
+  EXPECT_EQ(sum, kThreads * kPerThread);
+  EXPECT_EQ(arr.read(0, kThreads), kThreads * kPerThread)
+      << "the coupled total never drifts from the sum";
+}
+
+}  // namespace
+}  // namespace ruco::kcas
+
+namespace ruco::counter {
+namespace {
+
+TEST(KcasCounter, CountsSequentially) {
+  KcasCounter c{4};
+  EXPECT_EQ(c.read(0), 0);
+  for (int i = 1; i <= 20; ++i) {
+    c.increment(static_cast<ProcId>(i % 4));
+    EXPECT_EQ(c.read(0), i);
+  }
+  EXPECT_EQ(c.mine(0), 5);
+}
+
+TEST(KcasCounter, ExactUnderThreads) {
+  constexpr std::uint32_t kThreads = 6;
+  constexpr int kPerThread = 3000;
+  KcasCounter c{kThreads};
+  runtime::run_threads(kThreads, [&c](std::size_t t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      c.increment(static_cast<ProcId>(t));
+    }
+  });
+  EXPECT_EQ(c.read(0), kThreads * kPerThread);
+  for (ProcId p = 0; p < kThreads; ++p) EXPECT_EQ(c.mine(p), kPerThread);
+}
+
+TEST(KcasCounter, LinearizableUnderThreads) {
+  constexpr std::uint32_t kThreads = 4;
+  KcasCounter c{kThreads};
+  lincheck::Recorder recorder{kThreads};
+  runtime::run_threads(kThreads, [&](std::size_t t) {
+    util::SplitMix64 rng{70 + t};
+    const auto proc = static_cast<ProcId>(t);
+    for (int i = 0; i < 50; ++i) {
+      if (rng.chance(1, 2)) {
+        const auto slot = recorder.begin(proc, "CounterIncrement", 0);
+        c.increment(proc);
+        recorder.end(proc, slot, 0);
+      } else {
+        const auto slot = recorder.begin(proc, "CounterRead", 0);
+        recorder.end(proc, slot, c.read(proc));
+      }
+    }
+  });
+  const auto res = lincheck::check_linearizable(recorder.harvest(),
+                                                lincheck::CounterSpec{});
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.linearizable) << res.message;
+}
+
+TEST(KcasCounter, ReadsNeverDecrease) {
+  KcasCounter c{3};
+  std::vector<Value> observed;
+  runtime::run_threads(3, [&](std::size_t t) {
+    if (t == 0) {
+      observed.reserve(5000);
+      for (int i = 0; i < 5000; ++i) observed.push_back(c.read(0));
+    } else {
+      for (int i = 0; i < 2000; ++i) c.increment(static_cast<ProcId>(t));
+    }
+  });
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+  EXPECT_EQ(c.read(0), 4000);
+}
+
+}  // namespace
+}  // namespace ruco::counter

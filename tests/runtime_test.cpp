@@ -1,0 +1,117 @@
+// Unit tests for the runtime substrate: step accounting, padding, barrier,
+// thread harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ruco/runtime/padded.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/runtime/thread_harness.h"
+
+namespace ruco::runtime {
+namespace {
+
+TEST(StepCount, ScopeMeasuresTicks) {
+  StepScope scope;
+  EXPECT_EQ(scope.taken(), 0u);
+  step_tick();
+  step_tick();
+  step_tick();
+  EXPECT_EQ(scope.taken(), 3u);
+}
+
+TEST(StepCount, ScopesNest) {
+  StepScope outer;
+  step_tick();
+  {
+    StepScope inner;
+    step_tick();
+    step_tick();
+    EXPECT_EQ(inner.taken(), 2u);
+  }
+  EXPECT_EQ(outer.taken(), 3u);
+}
+
+TEST(StepCount, PerThreadIsolation) {
+  step_tick();
+  const std::uint64_t mine = thread_steps();
+  std::uint64_t theirs = 0;
+  std::thread t{[&theirs] {
+    theirs = thread_steps();  // fresh thread: zero
+    step_tick();
+  }};
+  t.join();
+  EXPECT_EQ(theirs, 0u);
+  EXPECT_EQ(thread_steps(), mine);  // their tick did not leak here
+}
+
+TEST(Padded, EachAtomicOnOwnCacheLine) {
+  static_assert(sizeof(PaddedAtomic<std::int64_t>) == kCacheLine);
+  static_assert(alignof(PaddedAtomic<std::int64_t>) == kCacheLine);
+  std::vector<PaddedAtomic<std::int64_t>> v(4, PaddedAtomic<std::int64_t>{7});
+  for (const auto& cell : v) EXPECT_EQ(cell.value.load(), 7);
+  const auto a = reinterpret_cast<std::uintptr_t>(&v[0]);
+  const auto b = reinterpret_cast<std::uintptr_t>(&v[1]);
+  EXPECT_GE(b - a, kCacheLine);
+}
+
+TEST(SpinBarrier, ReleasesAllParties) {
+  constexpr std::size_t kParties = 4;
+  SpinBarrier barrier{kParties};
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kParties; ++i) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      // Everyone must have arrived before anyone proceeds.
+      EXPECT_EQ(before.load(), static_cast<int>(kParties));
+      after.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(after.load(), static_cast<int>(kParties));
+}
+
+TEST(SpinBarrier, Reusable) {
+  constexpr std::size_t kParties = 3;
+  SpinBarrier barrier{kParties};
+  std::atomic<int> phase_sum{0};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kParties; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        barrier.arrive_and_wait();
+        phase_sum.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Between the two barriers every party bumped exactly once per
+        // round.
+        EXPECT_EQ(phase_sum.load() % static_cast<int>(kParties), 0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(phase_sum.load(), 15);
+}
+
+TEST(RunThreads, PassesDistinctIndices) {
+  std::vector<std::atomic<int>> hits(8);
+  run_threads(8, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunThreads, ZeroAndOneThreadShortcuts) {
+  run_threads(0, [](std::size_t) { FAIL() << "body must not run"; });
+  int calls = 0;
+  run_threads(1, [&calls](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ruco::runtime

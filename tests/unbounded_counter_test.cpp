@@ -1,0 +1,118 @@
+// UnboundedMaxRegCounter: counting semantics, value-sensitive step growth
+// (read cost tracks log of the count, not of any preset bound), threaded
+// stress with linearizability, and the tradeoff placement.
+#include <gtest/gtest.h>
+
+#include "ruco/counter/maxreg_counter.h"
+#include "ruco/counter/unbounded_maxreg_counter.h"
+#include "ruco/lincheck/checker.h"
+#include "ruco/lincheck/specs.h"
+#include "ruco/runtime/stepcount.h"
+#include "ruco/runtime/thread_harness.h"
+#include "ruco/util/bits.h"
+#include "ruco/util/rng.h"
+
+namespace ruco::counter {
+namespace {
+
+TEST(UnboundedCounter, StartsAtZeroAndCounts) {
+  UnboundedMaxRegCounter c{8};
+  EXPECT_EQ(c.read(0), 0);
+  for (Value i = 1; i <= 200; ++i) {
+    c.increment(static_cast<ProcId>(i % 8));
+    ASSERT_EQ(c.read(0), i);
+  }
+}
+
+TEST(UnboundedCounter, NoPresetBoundToExhaust) {
+  // Unlike MaxRegCounter{n, max_increments}, there is nothing to trip:
+  // run well past any small bound.
+  UnboundedMaxRegCounter c{2};
+  for (int i = 0; i < 5000; ++i) c.increment(0);
+  EXPECT_EQ(c.read(1), 5000);
+}
+
+TEST(UnboundedCounter, ReadCostGrowsWithCountNotCapacity) {
+  UnboundedMaxRegCounter c{4};
+  c.increment(0);
+  runtime::StepScope early;
+  (void)c.read(0);
+  const auto cheap = early.taken();
+  for (int i = 0; i < 4000; ++i) c.increment(static_cast<ProcId>(i % 4));
+  runtime::StepScope late;
+  (void)c.read(0);
+  EXPECT_GT(late.taken(), cheap)
+      << "reads pay log(count), so they grow as the count does";
+  // Bounded by ~2 log2(count) + 3.
+  EXPECT_LE(late.taken(), 2 * util::ceil_log2(4001) + 4);
+}
+
+TEST(UnboundedCounter, CheaperReadsThanBoundedAtLowCounts) {
+  // The value-sensitivity payoff: with only a few increments performed,
+  // reads beat the bounded counter configured for a large use budget.
+  constexpr std::uint32_t n = 16;
+  UnboundedMaxRegCounter unbounded{n};
+  MaxRegCounter bounded{n, 1 << 16};
+  unbounded.increment(0);
+  bounded.increment(0);
+  runtime::StepScope u;
+  (void)unbounded.read(1);
+  const auto u_steps = u.taken();
+  runtime::StepScope b;
+  (void)bounded.read(1);
+  EXPECT_LT(u_steps, b.taken());
+}
+
+TEST(UnboundedCounter, ExactUnderThreads) {
+  constexpr std::uint32_t kThreads = 6;
+  constexpr int kPerThread = 500;
+  UnboundedMaxRegCounter c{kThreads};
+  runtime::run_threads(kThreads, [&c](std::size_t t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      c.increment(static_cast<ProcId>(t));
+    }
+  });
+  EXPECT_EQ(c.read(0), kThreads * kPerThread);
+}
+
+TEST(UnboundedCounter, LinearizableUnderThreads) {
+  constexpr std::uint32_t kThreads = 4;
+  UnboundedMaxRegCounter c{kThreads};
+  lincheck::Recorder recorder{kThreads};
+  runtime::run_threads(kThreads, [&](std::size_t t) {
+    util::SplitMix64 rng{33 + t};
+    const auto proc = static_cast<ProcId>(t);
+    for (int i = 0; i < 40; ++i) {
+      if (rng.chance(1, 2)) {
+        const auto slot = recorder.begin(proc, "CounterIncrement", 0);
+        c.increment(proc);
+        recorder.end(proc, slot, 0);
+      } else {
+        const auto slot = recorder.begin(proc, "CounterRead", 0);
+        recorder.end(proc, slot, c.read(proc));
+      }
+    }
+  });
+  const auto res = lincheck::check_linearizable(recorder.harvest(),
+                                                lincheck::CounterSpec{});
+  ASSERT_TRUE(res.decided);
+  EXPECT_TRUE(res.linearizable) << res.message;
+}
+
+TEST(UnboundedCounter, ReadsNeverDecrease) {
+  UnboundedMaxRegCounter c{3};
+  std::vector<Value> observed;
+  runtime::run_threads(3, [&](std::size_t t) {
+    if (t == 0) {
+      observed.reserve(2000);
+      for (int i = 0; i < 2000; ++i) observed.push_back(c.read(0));
+    } else {
+      for (int i = 0; i < 800; ++i) c.increment(static_cast<ProcId>(t));
+    }
+  });
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+  EXPECT_EQ(c.read(0), 1600);
+}
+
+}  // namespace
+}  // namespace ruco::counter

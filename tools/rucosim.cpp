@@ -1,0 +1,204 @@
+// rucosim: command-line driver for the execution-model toolkit.
+//
+//   rucosim adversary --target=<cas|tree|aac|uaac> --k=<K>
+//                     [--max-iter=N] [--min-active=M]
+//       Run the Theorem 3 essential-set adversary and print the iteration
+//       trace (what examples/adversary_trace does, for any target/size).
+//
+//   rucosim starve --counter=<farray|maxreg|kcas|dcsnap> --n=<N>
+//       Run the Theorem 1 construction against a counter and report
+//       rounds, knowledge growth, and the Lemma 3 reader probe.
+//
+//   rucosim run --target=<cas|tree|aac|uaac> --k=<K> [--seed=S] [--pct]
+//               [--show=N] [--dot]
+//       Execute the standard writers+reader program under a random (or
+//       PCT) schedule, check linearizability, render the first N trace
+//       events, and optionally dump the knowledge graph as DOT.
+//
+// Exit code 0 iff every check performed passed.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "ruco/adversary/counter_adversary.h"
+#include "ruco/adversary/maxreg_adversary.h"
+#include "ruco/core/table.h"
+#include "ruco/lincheck/checker.h"
+#include "ruco/lincheck/specs.h"
+#include "ruco/sim/schedulers.h"
+#include "ruco/sim/system.h"
+#include "ruco/sim/trace_render.h"
+#include "ruco/simalgos/programs.h"
+#include "ruco/simalgos/sim_snapshots.h"
+
+namespace {
+
+using ruco::ProcId;
+using ruco::Value;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.count(key) != 0;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      args.options[token] = "";
+    } else {
+      args.options[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+ruco::simalgos::MaxRegProgram make_target(const std::string& name,
+                                          std::uint32_t k) {
+  if (name == "tree") return ruco::simalgos::make_tree_maxreg_program(k);
+  if (name == "aac") {
+    return ruco::simalgos::make_aac_maxreg_program(
+        k, static_cast<Value>(k));
+  }
+  if (name == "uaac") {
+    return ruco::simalgos::make_unbounded_aac_maxreg_program(k);
+  }
+  return ruco::simalgos::make_cas_maxreg_program(k);
+}
+
+int cmd_adversary(const Args& args) {
+  const std::string target = args.get("target", "cas");
+  const auto k = static_cast<std::uint32_t>(args.get_u64("k", 256));
+  ruco::adversary::MaxRegAdversaryOptions opts;
+  opts.max_iterations = args.get_u64("max-iter", 32);
+  opts.min_active = args.get_u64("min-active", 8);
+  const auto report =
+      ruco::adversary::run_maxreg_adversary(make_target(target, k), opts);
+
+  std::cout << "Theorem 3 adversary vs " << target << ", K = " << k << "\n\n";
+  ruco::Table t{{"iter", "case", "m", "|E_i|", "erased", "halted", "replay",
+                 "invariants"}};
+  for (const auto& it : report.iterations) {
+    t.add(it.index, ruco::adversary::to_string(it.contention),
+          it.active_before, it.essential_after, it.erased,
+          it.halted ? "yes" : "-", it.replay_ok ? "ok" : "FAIL",
+          it.invariants_ok ? "ok" : "FAIL");
+  }
+  t.print();
+  std::cout << "\nstopped: " << report.stop_reason << "; i* = "
+            << report.iterations_completed << ", |E_i*| = "
+            << report.final_essential << "\nreader: " << report.reader_value
+            << " in " << report.reader_steps
+            << " steps (consistent: " << (report.reader_ok ? "yes" : "NO")
+            << ")\n";
+  return report.all_replays_ok && report.all_invariants_ok &&
+                 report.reader_ok
+             ? 0
+             : 1;
+}
+
+int cmd_starve(const Args& args) {
+  const std::string counter = args.get("counter", "farray");
+  const auto n = static_cast<std::uint32_t>(args.get_u64("n", 81));
+  ruco::simalgos::CounterProgram program =
+      counter == "maxreg"
+          ? ruco::simalgos::make_maxreg_counter_program(
+                n, static_cast<Value>(n))
+          : counter == "kcas"
+                ? ruco::simalgos::make_kcas_counter_program(n)
+                : counter == "dcsnap"
+                      ? ruco::simalgos::make_dc_snapshot_counter_program(n)
+                      : ruco::simalgos::make_farray_counter_program(n);
+  const auto report = ruco::adversary::run_counter_adversary(program);
+  std::cout << "Theorem 1 adversary vs " << counter << " counter, N = " << n
+            << "\n";
+  ruco::Table t{{"rounds", "max inc steps", "M<=3^j", "reader value",
+                 "reader steps", "|AW(reader)|"}};
+  t.add(report.rounds, report.max_increment_steps,
+        report.knowledge_bound_held ? "yes" : "NO", report.reader_value,
+        report.reader_steps, report.reader_awareness);
+  t.print();
+  return report.knowledge_bound_held && report.reader_correct ? 0 : 1;
+}
+
+int cmd_run(const Args& args) {
+  const std::string target = args.get("target", "tree");
+  const auto k = static_cast<std::uint32_t>(args.get_u64("k", 8));
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  auto bundle = make_target(target, k);
+  ruco::sim::System sys{bundle.program};
+  if (args.has("pct")) {
+    ruco::sim::PctOptions opts;
+    opts.seed = seed;
+    ruco::sim::run_pct(sys, opts);
+  } else {
+    ruco::sim::run_random(sys, seed, 1u << 24);
+  }
+  if (!ruco::sim::all_done(sys)) {
+    std::cout << "schedule budget exhausted before completion\n";
+    return 1;
+  }
+  const auto res = ruco::lincheck::check_linearizable(
+      ruco::lincheck::from_sim_history(sys.history()),
+      ruco::lincheck::MaxRegisterSpec{});
+  const auto show = args.get_u64("show", 24);
+  ruco::sim::TraceRenderOptions render;
+  render.max_events = show;
+  std::cout << ruco::sim::render_trace(sys.trace(), sys.num_processes(),
+                                       render);
+  std::cout << "\nsteps: " << sys.trace().size()
+            << ", linearizable: " << (res.linearizable ? "yes" : "NO")
+            << " (" << res.states_explored << " states)\n";
+  if (args.has("dot")) {
+    std::cout << "\n"
+              << ruco::sim::knowledge_dot(sys.trace(), sys.num_processes(),
+                                          sys.num_objects());
+  }
+  return res.decided && res.linearizable ? 0 : 1;
+}
+
+int usage() {
+  std::cout << "usage:\n"
+               "  rucosim adversary --target=<cas|tree|aac|uaac> --k=<K>"
+               " [--max-iter=N] [--min-active=M]\n"
+               "  rucosim starve    --counter=<farray|maxreg|kcas|dcsnap>"
+               " --n=<N>\n"
+               "  rucosim run       --target=<cas|tree|aac|uaac> --k=<K>"
+               " [--seed=S] [--pct] [--show=N] [--dot]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "adversary") return cmd_adversary(args);
+    if (args.command == "starve") return cmd_starve(args);
+    if (args.command == "run") return cmd_run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}
