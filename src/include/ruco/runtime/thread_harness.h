@@ -1,11 +1,15 @@
 // Utilities for running N worker threads through a synchronized start:
 // a sense-reversing spin barrier and a fleet runner that joins on scope
 // exit (per C++ Core Guidelines CP.25: no detached threads anywhere).
+// The fleet runner takes an optional watchdog so hardware stress tests
+// fail loudly -- naming the stuck thread -- instead of hanging CI.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -39,11 +43,40 @@ class SpinBarrier {
   std::atomic<bool> sense_;
 };
 
+/// Diagnostic handed to the watchdog when workers miss the deadline.
+struct HangReport {
+  std::vector<std::size_t> stuck;  // thread indexes still running
+  std::string diagnostic;          // human-readable, names every stuck index
+};
+
+/// Deadline supervision for run_threads.  A zero deadline disables the
+/// watchdog (classic behavior: join unconditionally).  When the deadline
+/// passes with workers still running, `on_hang` is called once from the
+/// supervising thread with the stuck-thread report; the default (null)
+/// handler prints the diagnostic to stderr and aborts -- a hung stress
+/// test becomes a loud CI failure with the culprit named instead of a
+/// silent timeout.  A custom handler must eventually unblock the workers:
+/// run_threads still joins every thread before returning (CP.25).
+struct WatchdogOptions {
+  std::chrono::milliseconds deadline{0};
+  std::function<void(const HangReport&)> on_hang;
+};
+
+struct RunThreadsResult {
+  bool completed_in_time = true;
+  HangReport hang;  // only populated when the watchdog fired
+};
+
 /// Runs `body(thread_index)` on `count` threads, synchronizing their start
 /// through a barrier, and joins them all before returning.  Exceptions from
 /// worker bodies terminate (workers are expected to be noexcept in spirit);
 /// tests use EXPECT_* result buffers instead of throwing across threads.
 void run_threads(std::size_t count,
                  const std::function<void(std::size_t)>& body);
+
+/// Watchdog-supervised variant; see WatchdogOptions.
+RunThreadsResult run_threads(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             const WatchdogOptions& watchdog);
 
 }  // namespace ruco::runtime

@@ -1,0 +1,73 @@
+// Wait-freedom certification under crash faults.  The paper's bounds are
+// wait-free: every surviving process finishes its operation in a bounded
+// number of its own steps regardless of how the others are scheduled --
+// including being crashed mid-operation.  The certifier makes that an
+// executable check: it subjects a sim::Program to
+//
+//   (1) a deterministic *crash sweep* -- for every process p and every
+//       prefix length k of p's fault-free execution, one schedule in which
+//       p crashes after exactly k of its own steps, and
+//
+//   (2) seeded random *crash storms* -- up to f < N crashes placed by a
+//       FaultPlan under a randomized scheduler,
+//
+// and asserts that in every resulting schedule all surviving processes
+// complete within the per-process step bound.  A blocking algorithm fails
+// loudly: crash the lock holder and the survivors spin past any bound
+// (LockMaxRegister's sim twin is the negative control in the tests).
+//
+// Certification is a *refutation* check, not a proof: it certifies the
+// bound over the generated crash schedules (deterministic and replayable
+// for fixed options), the way the adversary drivers certify the lower
+// bounds over their constructed executions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ruco/sim/fault.h"
+#include "ruco/sim/system.h"
+
+namespace ruco::sim {
+
+struct WaitFreedomOptions {
+  /// Per-process step bound the survivors must meet.  0 = auto-calibrate:
+  /// run the program fault-free under round-robin and use
+  /// `slack * max_p steps(p)` -- sound for the wait-free algorithms here,
+  /// whose contended step counts are within a small factor of fair-run
+  /// counts, and still failed by blocking algorithms, which spin
+  /// unboundedly once the lock holder crashes.
+  std::uint64_t step_bound = 0;
+  std::uint64_t slack = 4;
+
+  /// Crash sweep: for each process p, crash p after k own steps for every
+  /// k in [0, min(sweep_steps, p's fault-free step count)].
+  std::uint64_t sweep_steps = 16;
+
+  /// Random crash storms: this many seeds (0 disables), each crashing up
+  /// to `max_crashes` processes (capped at N-1) with the given per-step
+  /// probability.
+  std::uint64_t storm_seeds = 8;
+  std::uint32_t max_crashes = UINT32_MAX;
+  std::uint32_t crash_per_mille = 100;
+
+  /// Backstop schedule budget; exhausting it with survivors still active
+  /// is itself a certification failure (a blocked survivor).
+  std::uint64_t max_schedule_steps = 1u << 20;
+};
+
+struct WaitFreedomReport {
+  bool certified = true;
+  std::uint64_t schedules = 0;
+  std::uint64_t step_bound = 0;  // the bound certified against
+  /// Largest per-process step count any survivor needed, over all
+  /// schedules (the quantity bench_crash_storm plots against crash count).
+  std::uint64_t worst_survivor_steps = 0;
+  /// First violation: which schedule, which process, what went wrong.
+  std::string message;
+};
+
+[[nodiscard]] WaitFreedomReport certify_wait_freedom(
+    const Program& program, const WaitFreedomOptions& options = {});
+
+}  // namespace ruco::sim

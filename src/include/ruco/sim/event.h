@@ -50,6 +50,11 @@ struct Event {
   Value expected = 0;  // CAS expected
   Value observed = 0;  // read: value returned; CAS/k-CAS: 1 if succeeded
   bool changed = false;  // non-trivial: the event changed a value
+  /// Weak-CAS fault mode (System::step_spurious): the CAS failed without
+  /// regard to the object's value, as an LL/SC-style CAS may.  Only ever
+  /// true for kCas events with observed == 0.  replay_trace honors the
+  /// flag so faulty executions replay exactly.
+  bool spurious = false;
   std::vector<KcasEntry> kcas;  // kKcas only
 
   /// Same process, object(s), primitive and arguments (not response).

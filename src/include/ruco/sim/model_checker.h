@@ -38,13 +38,35 @@ struct ModelCheckOptions {
   /// kUnbounded = classic full exploration.
   static constexpr std::uint32_t kUnbounded = UINT32_MAX;
   std::uint32_t preemption_bound = kUnbounded;
+  /// Crash-fault exploration: "crash process p here" becomes an additional
+  /// nondeterministic choice at every scheduling point, for every active
+  /// process, up to this many crashes per execution (the paper's f < N,
+  /// bounded like the preemption bound above).  A crash permanently halts
+  /// the process and leaves its in-flight operation pending in the history
+  /// -- the linearizability verdict must accept it committed-or-dropped
+  /// (Herlihy & Wing).  Crash choices never consume preemption budget: a
+  /// crash is the adversary failing a process, not scheduling it, and the
+  /// bounded search must stay a superset of the crash-free one.  0 = no
+  /// crashes (classic behavior).
+  std::uint32_t max_crashes = 0;
 };
+
+/// Schedules (and counterexamples) encode a crash of process p as
+/// `p | kCrashChoice`; plain entries are ordinary steps.
+inline constexpr ProcId kCrashChoice = 0x8000'0000u;
+[[nodiscard]] constexpr bool is_crash_choice(ProcId choice) noexcept {
+  return (choice & kCrashChoice) != 0;
+}
+[[nodiscard]] constexpr ProcId choice_proc(ProcId choice) noexcept {
+  return choice & ~kCrashChoice;
+}
 
 struct ModelCheckResult {
   bool ok = true;
   bool exhaustive = true;  // false if max_executions cut exploration short
   std::uint64_t executions = 0;
-  /// On failure: the offending schedule and a rendering of its trace.
+  /// On failure: the offending schedule (crash choices encoded per
+  /// kCrashChoice) and a rendering of its trace.
   std::vector<ProcId> counterexample;
   std::string message;
 };

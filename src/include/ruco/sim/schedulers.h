@@ -13,6 +13,8 @@
 
 namespace ruco::sim {
 
+class FaultInjector;
+
 /// Steps processes 0..N-1 cyclically, skipping completed ones, until all
 /// complete or `max_steps` total steps were taken.  Returns steps taken.
 std::uint64_t run_round_robin(System& sys, std::uint64_t max_steps);
@@ -51,5 +53,21 @@ struct PctOptions {
   std::vector<ProcId> only;
 };
 std::uint64_t run_pct(System& sys, const PctOptions& options);
+
+/// Fault-aware decorations of the three generic schedulers: every step
+/// goes through `faults` (see ruco/sim/fault.h), which may crash the
+/// selected process or spuriously fail its pending CAS according to its
+/// FaultPlan.  A crash consumes the scheduling slot but is NOT a step: it
+/// does not count toward `max_steps` / the returned step tally, and -- for
+/// run_pct -- does not advance the priority-change-point clock (crashed
+/// processes must not burn demotion points).  Crashed processes become
+/// inactive and are skipped exactly like completed ones.  Deterministic
+/// for fixed scheduler seed + fault plan.
+std::uint64_t run_round_robin(System& sys, std::uint64_t max_steps,
+                              FaultInjector& faults);
+std::uint64_t run_random(System& sys, std::uint64_t seed,
+                         std::uint64_t max_steps, FaultInjector& faults);
+std::uint64_t run_pct(System& sys, const PctOptions& options,
+                      FaultInjector& faults);
 
 }  // namespace ruco::sim

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,8 +50,10 @@ class Ctx {
   [[nodiscard]] auto cas(ObjectId o, Value expected, Value desired) noexcept;
   /// k-word CAS (reference [6]'s stronger primitive): succeeds -- resolving
   /// to 1 -- iff every entry matches its expected value, atomically
-  /// installing all desired values.  One step.
-  [[nodiscard]] auto kcas(std::vector<KcasEntry> entries) noexcept;
+  /// installing all desired values.  One step.  Throws
+  /// std::invalid_argument on an empty entry list (a 0-CAS is not an event
+  /// on any object and would otherwise silently target object 0).
+  [[nodiscard]] auto kcas(std::vector<KcasEntry> entries);
 
   /// History annotations for the linearizability checker; not steps.
   /// mark_invoke is *deferred*: the invocation is timestamped when this
@@ -116,8 +119,30 @@ class System {
 
   /// Applies the enabled event of process p and runs p to its next
   /// suspension (or completion).  Returns false iff p has no enabled event
-  /// (already completed).
+  /// (already completed or crashed).
   bool step(ProcId p);
+
+  /// Crash fault: permanently halts p.  Its coroutine chain is destroyed,
+  /// its enabled event is discarded (never applied), and its in-flight
+  /// operation becomes a Herlihy-Wing *pending* operation in the recorded
+  /// history -- the linearizability search may linearize it (its effect may
+  /// have landed) or drop it (it may never have become visible).  An
+  /// operation that crashed before its first step never appears in the
+  /// history at all (its deferred mark_invoke is discarded): in the model
+  /// an operation's interval begins at its first shared-memory event.
+  /// No trace event is recorded -- a crash is not a shared-memory step, and
+  /// the surviving prefix replays unchanged (Lemma 2 discipline).
+  /// Returns false iff p had no enabled event (completed or crashed).
+  bool crash(ProcId p);
+
+  /// Spurious weak-CAS fault: applies p's enabled event -- which must be a
+  /// single-word CAS -- as a *failure* regardless of the object's current
+  /// value, the way an LL/SC-backed compare_exchange_weak may fail.  One
+  /// step: the event is recorded (with Event::spurious set), the CAS still
+  /// counts as an observation of the object for the knowledge tracker, and
+  /// p resumes with result 0.  Returns false iff p has no enabled event or
+  /// its enabled event is not a kCas.
+  bool step_spurious(ProcId p);
 
   /// p has an enabled event.
   [[nodiscard]] bool active(ProcId p) const {
@@ -131,9 +156,18 @@ class System {
   /// (Triviality pre-classification used by Lemma 1 and Lemma 4 case 2.)
   [[nodiscard]] bool pending_would_change(ProcId p) const;
 
+  /// p will never step again: completed *or* crashed (check crashed(p) to
+  /// tell the two apart).
   [[nodiscard]] bool done(ProcId p) const { return !procs_[p].has_pending; }
+  /// p was halted by a crash fault.
+  [[nodiscard]] bool crashed(ProcId p) const { return procs_[p].crashed; }
+  /// Number of crash faults injected so far.
+  [[nodiscard]] std::uint32_t crash_count() const noexcept {
+    return crash_count_;
+  }
   /// Result of p's (completed) top-level op; rethrows its exception.
-  [[nodiscard]] Value result(ProcId p) const { return procs_[p].op.result(); }
+  /// Throws std::logic_error for a crashed process (its op never returned).
+  [[nodiscard]] Value result(ProcId p) const;
 
   [[nodiscard]] Value value(ObjectId o) const { return objects_[o].value; }
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
@@ -192,6 +226,7 @@ class System {
     std::coroutine_handle<> resume_point;  // innermost suspended coroutine
     Pending pending;
     bool has_pending = false;
+    bool crashed = false;
     Value prim_result = 0;
     ProcSet aw;
     std::uint64_t steps = 0;
@@ -219,6 +254,7 @@ class System {
   std::vector<HistoryEvent> history_;
   std::uint64_t clock_ = 0;  // advances on every step and annotation
   std::size_t knowledge_high_water_ = 1;  // every AW starts at {self}
+  std::uint32_t crash_count_ = 0;
 
   friend struct PrimAwaiter;
 };
@@ -246,10 +282,13 @@ inline auto Ctx::write(ObjectId o, Value v) noexcept {
 inline auto Ctx::cas(ObjectId o, Value expected, Value desired) noexcept {
   return PrimAwaiter{this, Pending{o, Prim::kCas, desired, expected, {}}};
 }
-inline auto Ctx::kcas(std::vector<KcasEntry> entries) noexcept {
+inline auto Ctx::kcas(std::vector<KcasEntry> entries) {
+  if (entries.empty()) {
+    throw std::invalid_argument{"Ctx::kcas: empty entry list"};
+  }
   Pending pending;
   pending.prim = Prim::kKcas;
-  pending.obj = entries.empty() ? 0 : entries.front().obj;
+  pending.obj = entries.front().obj;
   pending.kcas = std::move(entries);
   return PrimAwaiter{this, std::move(pending)};
 }

@@ -49,6 +49,10 @@ struct MaxRegProgram {
 [[nodiscard]] MaxRegProgram make_unbounded_aac_maxreg_program(
     std::uint32_t k);
 
+/// Spinlock-protected target: blocking, the wait-freedom certifier's
+/// negative control (crash the lock holder and the survivors spin).
+[[nodiscard]] MaxRegProgram make_lock_maxreg_program(std::uint32_t k);
+
 struct CounterProgram {
   sim::Program program;
   std::uint32_t num_incrementers = 0;  // procs [0, num_incrementers)

@@ -85,6 +85,26 @@ class SimAacMaxRegister {
   sim::ObjectId any_write_;
 };
 
+/// Spinlock-protected max register over simulated memory: the *blocking*
+/// baseline (maxreg::LockMaxRegister's sim twin, the mutex modeled as a
+/// CAS-acquired test-and-set lock).  Deliberately NOT wait-free: if the
+/// lock holder crashes mid-operation the lock is never released and every
+/// other process spins forever -- the negative control that
+/// certify_wait_freedom must fail.
+class SimLockMaxRegister {
+ public:
+  explicit SimLockMaxRegister(sim::Program& program);
+
+  [[nodiscard]] sim::Op read_max(sim::Ctx& ctx) const;
+  [[nodiscard]] sim::Op write_max(sim::Ctx& ctx, Value v) const;
+
+  [[nodiscard]] sim::ObjectId lock_object() const noexcept { return lock_; }
+
+ private:
+  sim::ObjectId lock_;  // 0 free, 1 held
+  sim::ObjectId cell_;
+};
+
 /// Unbounded rw-only max register over simulated memory (AAC composition
 /// along a Bentley-Yao spine).  See maxreg::UnboundedAacMaxRegister.
 /// Groups are allocated eagerly up to max_groups (sim programs have a fixed

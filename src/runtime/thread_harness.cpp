@@ -1,5 +1,9 @@
 #include "ruco/runtime/thread_harness.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
 namespace ruco::runtime {
 
 void run_threads(std::size_t count,
@@ -19,6 +23,70 @@ void run_threads(std::size_t count,
     });
   }
   for (auto& t : threads) t.join();
+}
+
+RunThreadsResult run_threads(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             const WatchdogOptions& watchdog) {
+  RunThreadsResult result;
+  if (watchdog.deadline.count() <= 0) {
+    run_threads(count, body);
+    return result;
+  }
+  if (count == 0) return result;
+  // Workers flag completion individually so the watchdog can name exactly
+  // which thread is stuck, not just that some thread is.
+  const auto finished_flags =
+      std::make_unique<std::atomic<bool>[]>(count);
+  for (std::size_t i = 0; i < count; ++i) finished_flags[i].store(false);
+  std::atomic<std::size_t> finished{0};
+  SpinBarrier barrier{count};
+  std::vector<std::thread> threads;
+  threads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads.emplace_back([&, i] {
+      barrier.arrive_and_wait();
+      body(i);
+      finished_flags[i].store(true, std::memory_order_release);
+      finished.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+
+  const auto deadline_at = std::chrono::steady_clock::now() + watchdog.deadline;
+  while (finished.load(std::memory_order_acquire) < count &&
+         std::chrono::steady_clock::now() < deadline_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  if (finished.load(std::memory_order_acquire) < count) {
+    result.completed_in_time = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!finished_flags[i].load(std::memory_order_acquire)) {
+        result.hang.stuck.push_back(i);
+      }
+    }
+    std::string diag = "run_threads watchdog: deadline of " +
+                       std::to_string(watchdog.deadline.count()) +
+                       " ms passed with " +
+                       std::to_string(result.hang.stuck.size()) + " of " +
+                       std::to_string(count) + " workers still running;" +
+                       " stuck thread index(es):";
+    for (const std::size_t i : result.hang.stuck) {
+      diag += " " + std::to_string(i);
+    }
+    result.hang.diagnostic = std::move(diag);
+    if (watchdog.on_hang) {
+      watchdog.on_hang(result.hang);
+    } else {
+      // No handler: a hung worker cannot be joined safely, so fail loudly
+      // with the culprit named rather than hang CI forever.
+      std::fprintf(stderr, "%s\n", result.hang.diagnostic.c_str());
+      std::abort();
+    }
+  }
+  // A custom on_hang handler is responsible for unblocking the workers;
+  // joining here keeps the no-detached-threads guarantee.
+  for (auto& t : threads) t.join();
+  return result;
 }
 
 }  // namespace ruco::runtime

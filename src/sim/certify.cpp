@@ -1,0 +1,136 @@
+#include "ruco/sim/certify.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ruco/sim/schedulers.h"
+#include "ruco/util/rng.h"
+
+namespace ruco::sim {
+
+namespace {
+
+/// Drives one crash schedule to completion: round-robin when `rng` is
+/// null, uniformly random over active processes otherwise, every slot
+/// mediated by the injector.  Fails fast the moment any survivor exceeds
+/// `bound` own steps -- a blocked (spinning) survivor is caught after
+/// bound+1 of its steps, not after the whole budget.  Returns "" on
+/// success, else a diagnostic naming the offending process.
+std::string drive(System& sys, FaultInjector& injector, std::uint64_t bound,
+                  std::uint64_t budget, util::SplitMix64* rng) {
+  std::uint64_t slots = 0;
+  std::vector<ProcId> live;
+  live.reserve(sys.num_processes());
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    if (sys.active(p)) live.push_back(p);
+  }
+  std::size_t rr_next = 0;
+  while (!live.empty() && slots < budget) {
+    const std::size_t i =
+        rng != nullptr ? static_cast<std::size_t>(rng->below(live.size()))
+                       : rr_next % live.size();
+    const ProcId p = live[i];
+    const auto outcome = injector.step(p);
+    ++slots;
+    if (outcome == FaultInjector::Outcome::kStepped &&
+        sys.steps_taken(p) > bound) {
+      return "p" + std::to_string(p) + " exceeded the step bound (" +
+             std::to_string(sys.steps_taken(p)) + " > " +
+             std::to_string(bound) + " steps); not wait-free under crashes";
+    }
+    if (!sys.active(p)) {  // completed or crashed
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      if (rng == nullptr) rr_next = i;  // successor now sits at index i
+    } else if (rng == nullptr) {
+      rr_next = i + 1;
+    }
+  }
+  if (!live.empty()) {
+    return "p" + std::to_string(live.front()) +
+           " still active after the schedule budget (blocked survivor)";
+  }
+  return {};
+}
+
+void record_survivors(const System& sys, std::uint64_t* worst) {
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    if (!sys.crashed(p)) *worst = std::max(*worst, sys.steps_taken(p));
+  }
+}
+
+}  // namespace
+
+WaitFreedomReport certify_wait_freedom(const Program& program,
+                                       const WaitFreedomOptions& options) {
+  WaitFreedomReport report;
+  const std::size_t n = program.num_processes();
+
+  // Fault-free calibration run: per-process baseline step counts, and the
+  // auto step bound.
+  std::vector<std::uint64_t> baseline(n, 0);
+  {
+    System sys{program};
+    run_round_robin(sys, options.max_schedule_steps);
+    if (!all_done(sys)) {
+      report.certified = false;
+      report.message = "program did not complete fault-free within the "
+                       "schedule budget; nothing to certify";
+      return report;
+    }
+    for (ProcId p = 0; p < n; ++p) baseline[p] = sys.steps_taken(p);
+  }
+  const std::uint64_t max_baseline =
+      *std::max_element(baseline.begin(), baseline.end());
+  report.step_bound = options.step_bound != 0
+                          ? options.step_bound
+                          : options.slack * std::max<std::uint64_t>(
+                                                max_baseline, 1);
+
+  const auto run_one = [&](const FaultPlan& plan, util::SplitMix64* rng,
+                           const std::string& label) {
+    System sys{program};
+    FaultInjector injector{sys, plan};
+    const std::string diag = drive(sys, injector, report.step_bound,
+                                   options.max_schedule_steps, rng);
+    ++report.schedules;
+    record_survivors(sys, &report.worst_survivor_steps);
+    if (!diag.empty() && report.certified) {
+      report.certified = false;
+      report.message = label + ": " + diag;
+    }
+    return diag.empty();
+  };
+
+  // (1) Deterministic crash sweep: every process, every own-step prefix.
+  for (ProcId p = 0; p < n && report.certified; ++p) {
+    const std::uint64_t limit =
+        std::min(options.sweep_steps,
+                 baseline[p] == 0 ? std::uint64_t{0} : baseline[p] - 1);
+    for (std::uint64_t k = 0; k <= limit && report.certified; ++k) {
+      FaultPlan plan;
+      plan.crash_at.push_back(
+          CrashPoint{p, k, CrashPoint::Basis::kOwnSteps});
+      run_one(plan, nullptr,
+              "sweep crash(p" + std::to_string(p) + " after " +
+                  std::to_string(k) + " steps)");
+    }
+  }
+
+  // (2) Seeded random crash storms.
+  const std::uint32_t quota = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      options.max_crashes, n > 0 ? n - 1 : 0));
+  for (std::uint64_t seed = 1;
+       seed <= options.storm_seeds && report.certified; ++seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.max_random_crashes = quota;
+    plan.crash_per_mille = options.crash_per_mille;
+    util::SplitMix64 sched_rng{seed ^ 0x9e3779b97f4a7c15ULL};
+    run_one(plan, &sched_rng, "storm seed " + std::to_string(seed));
+  }
+
+  return report;
+}
+
+}  // namespace ruco::sim

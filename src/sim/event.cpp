@@ -41,6 +41,7 @@ std::string Event::to_string() const {
       break;
     }
   }
+  if (spurious) s += " [spurious]";
   if (!changed) s += " [trivial]";
   return s;
 }

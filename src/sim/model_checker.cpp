@@ -6,6 +6,14 @@ namespace ruco::sim {
 
 namespace {
 
+void apply_choice(System& sys, ProcId choice) {
+  if (is_crash_choice(choice)) {
+    sys.crash(choice_proc(choice));
+  } else {
+    sys.step(choice);
+  }
+}
+
 struct Dfs {
   const Program& program;
   const Verdict& verdict;
@@ -15,16 +23,17 @@ struct Dfs {
 
   // Returns false to stop exploration (failure found or budget exhausted).
   // `preemptions_left` implements iterative context bounding: continuing
-  // the process that just ran -- or switching away from a completed one --
-  // is free; any other switch consumes budget.
-  bool explore(std::uint32_t preemptions_left) {
+  // the process that just ran -- or switching away from a completed or
+  // crashed one -- is free; any other switch consumes budget.
+  // `crashes_left` bounds the crash-choice fan-out (options.max_crashes).
+  bool explore(std::uint32_t preemptions_left, std::uint32_t crashes_left) {
     if (options.max_executions != 0 &&
         result.executions >= options.max_executions) {
       result.exhaustive = false;
       return false;
     }
     System sys{program};
-    for (const ProcId p : prefix) sys.step(p);
+    for (const ProcId choice : prefix) apply_choice(sys, choice);
 
     std::vector<ProcId> ready;
     for (ProcId p = 0; p < sys.num_processes(); ++p) {
@@ -48,15 +57,28 @@ struct Dfs {
       return false;
     }
     const bool last_still_ready =
-        !prefix.empty() && sys.active(prefix.back());
+        !prefix.empty() && !is_crash_choice(prefix.back()) &&
+        sys.active(prefix.back());
     for (const ProcId p : ready) {
       const bool preempts = last_still_ready && p != prefix.back();
       if (preempts && preemptions_left == 0) continue;
       prefix.push_back(p);
       const bool keep_going =
-          explore(preempts ? preemptions_left - 1 : preemptions_left);
+          explore(preempts ? preemptions_left - 1 : preemptions_left,
+                  crashes_left);
       prefix.pop_back();
       if (!keep_going) return false;
+    }
+    // Crash choices: fail any active process here.  Free of preemption
+    // budget (see header); the crashed process leaves the ready set, so
+    // the next step choice away from a crashed "last runner" is free too.
+    if (crashes_left > 0) {
+      for (const ProcId p : ready) {
+        prefix.push_back(p | kCrashChoice);
+        const bool keep_going = explore(preemptions_left, crashes_left - 1);
+        prefix.pop_back();
+        if (!keep_going) return false;
+      }
     }
     return true;
   }
@@ -67,7 +89,7 @@ struct Dfs {
 ModelCheckResult model_check(const Program& program, const Verdict& verdict,
                              const ModelCheckOptions& options) {
   Dfs dfs{program, verdict, options, ModelCheckResult{}, {}};
-  dfs.explore(options.preemption_bound);
+  dfs.explore(options.preemption_bound, options.max_crashes);
   if (options.preemption_bound != ModelCheckOptions::kUnbounded) {
     // Bounded search covers a subset of schedules by design.
     dfs.result.exhaustive = false;
@@ -79,9 +101,18 @@ std::string render_schedule(const Program& program,
                             const std::vector<ProcId>& schedule) {
   System sys{program};
   std::string out;
-  for (const ProcId p : schedule) {
-    if (!sys.step(p)) {
-      out += "<process p" + std::to_string(p) + " not steppable>\n";
+  for (const ProcId choice : schedule) {
+    if (is_crash_choice(choice)) {
+      const ProcId p = choice_proc(choice);
+      if (!sys.crash(p)) {
+        out += "<process p" + std::to_string(p) + " not crashable>\n";
+        break;
+      }
+      out += "p" + std::to_string(p) + " CRASH\n";
+      continue;
+    }
+    if (!sys.step(choice)) {
+      out += "<process p" + std::to_string(choice) + " not steppable>\n";
       break;
     }
     out += sys.trace().back().to_string() + "\n";

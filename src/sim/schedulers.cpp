@@ -5,27 +5,58 @@
 
 #include <vector>
 
+#include "ruco/sim/fault.h"
 #include "ruco/util/rng.h"
 
 namespace ruco::sim {
 
-std::uint64_t run_round_robin(System& sys, std::uint64_t max_steps) {
+namespace {
+
+// The scheduler cores are templated over a stepper so the fault-injecting
+// decorations share one implementation with the plain paths.  A stepper
+// reports what happened to the selected process in FaultInjector::Outcome
+// terms; crashes occupy the scheduling slot without counting as steps.
+using Outcome = FaultInjector::Outcome;
+
+struct DirectStepper {
+  System& sys;
+  Outcome step(ProcId p) {
+    return sys.step(p) ? Outcome::kStepped : Outcome::kInactive;
+  }
+};
+
+struct FaultStepper {
+  FaultInjector& faults;
+  Outcome step(ProcId p) { return faults.step(p); }
+};
+
+template <typename Stepper>
+std::uint64_t round_robin_impl(System& sys, std::uint64_t max_steps,
+                               Stepper stepper) {
   std::uint64_t taken = 0;
   bool any = true;
   while (any && taken < max_steps) {
     any = false;
     for (ProcId p = 0; p < sys.num_processes() && taken < max_steps; ++p) {
-      if (sys.step(p)) {
-        ++taken;
-        any = true;
+      switch (stepper.step(p)) {
+        case Outcome::kStepped:
+          ++taken;
+          any = true;
+          break;
+        case Outcome::kCrashed:
+          any = true;  // progress of a sort: p left the schedule
+          break;
+        case Outcome::kInactive:
+          break;
       }
     }
   }
   return taken;
 }
 
-std::uint64_t run_random(System& sys, std::uint64_t seed,
-                         std::uint64_t max_steps) {
+template <typename Stepper>
+std::uint64_t random_impl(System& sys, std::uint64_t seed,
+                          std::uint64_t max_steps, Stepper stepper) {
   util::SplitMix64 rng{seed};
   std::uint64_t taken = 0;
   std::vector<ProcId> live;
@@ -36,9 +67,8 @@ std::uint64_t run_random(System& sys, std::uint64_t seed,
   while (!live.empty() && taken < max_steps) {
     const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
     const ProcId p = live[i];
-    sys.step(p);
-    ++taken;
-    if (!sys.active(p)) {
+    if (stepper.step(p) == Outcome::kStepped) ++taken;
+    if (!sys.active(p)) {  // completed or crashed
       live[i] = live.back();
       live.pop_back();
     }
@@ -46,32 +76,9 @@ std::uint64_t run_random(System& sys, std::uint64_t seed,
   return taken;
 }
 
-std::uint64_t run_solo(System& sys, ProcId p, std::uint64_t max_steps) {
-  std::uint64_t taken = 0;
-  while (sys.active(p) && taken < max_steps) {
-    sys.step(p);
-    ++taken;
-  }
-  return taken;
-}
-
-std::uint64_t run_script(System& sys, std::span<const ProcId> script) {
-  std::uint64_t taken = 0;
-  for (const ProcId p : script) {
-    if (!sys.step(p)) break;
-    ++taken;
-  }
-  return taken;
-}
-
-bool all_done(const System& sys) {
-  for (ProcId p = 0; p < sys.num_processes(); ++p) {
-    if (sys.active(p)) return false;
-  }
-  return true;
-}
-
-std::uint64_t run_pct(System& sys, const PctOptions& options) {
+template <typename Stepper>
+std::uint64_t pct_impl(System& sys, const PctOptions& options,
+                       Stepper stepper) {
   util::SplitMix64 rng{options.seed};
   const std::size_t n = sys.num_processes();
   // Distinct random priorities: a shuffled ramp, all above the demotion
@@ -105,7 +112,10 @@ std::uint64_t run_pct(System& sys, const PctOptions& options) {
       }
     }
     if (best == UINT32_MAX) break;
-    sys.step(best);
+    // A crash consumes the scheduling slot but not a step: the change-point
+    // clock (indexed by applied steps) must not advance, or crashed
+    // processes would burn the bug-depth demotion points.
+    if (stepper.step(best) != Outcome::kStepped) continue;
     ++taken;
     for (const std::uint64_t cp : change_points) {
       if (cp == taken && next_demoted_priority != UINT64_MAX) {
@@ -117,6 +127,61 @@ std::uint64_t run_pct(System& sys, const PctOptions& options) {
     }
   }
   return taken;
+}
+
+}  // namespace
+
+std::uint64_t run_round_robin(System& sys, std::uint64_t max_steps) {
+  return round_robin_impl(sys, max_steps, DirectStepper{sys});
+}
+
+std::uint64_t run_round_robin(System& sys, std::uint64_t max_steps,
+                              FaultInjector& faults) {
+  return round_robin_impl(sys, max_steps, FaultStepper{faults});
+}
+
+std::uint64_t run_random(System& sys, std::uint64_t seed,
+                         std::uint64_t max_steps) {
+  return random_impl(sys, seed, max_steps, DirectStepper{sys});
+}
+
+std::uint64_t run_random(System& sys, std::uint64_t seed,
+                         std::uint64_t max_steps, FaultInjector& faults) {
+  return random_impl(sys, seed, max_steps, FaultStepper{faults});
+}
+
+std::uint64_t run_solo(System& sys, ProcId p, std::uint64_t max_steps) {
+  std::uint64_t taken = 0;
+  while (sys.active(p) && taken < max_steps) {
+    sys.step(p);
+    ++taken;
+  }
+  return taken;
+}
+
+std::uint64_t run_script(System& sys, std::span<const ProcId> script) {
+  std::uint64_t taken = 0;
+  for (const ProcId p : script) {
+    if (!sys.step(p)) break;
+    ++taken;
+  }
+  return taken;
+}
+
+bool all_done(const System& sys) {
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    if (sys.active(p)) return false;
+  }
+  return true;
+}
+
+std::uint64_t run_pct(System& sys, const PctOptions& options) {
+  return pct_impl(sys, options, DirectStepper{sys});
+}
+
+std::uint64_t run_pct(System& sys, const PctOptions& options,
+                      FaultInjector& faults) {
+  return pct_impl(sys, options, FaultStepper{faults});
 }
 
 }  // namespace ruco::sim

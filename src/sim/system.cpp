@@ -107,6 +107,65 @@ bool System::pending_would_change(ProcId p) const {
   return false;
 }
 
+Value System::result(ProcId p) const {
+  const ProcState& ps = procs_[p];
+  if (ps.crashed) {
+    throw std::logic_error{"System::result: process p" + std::to_string(p) +
+                           " crashed; its operation never returned"};
+  }
+  return ps.op.result();
+}
+
+bool System::crash(ProcId p) {
+  ProcState& ps = procs_[p];
+  if (!ps.has_pending) return false;
+  // Discard a buffered invoke: in the model an operation's interval begins
+  // at its first shared-memory event, so an operation that never stepped
+  // never started -- it must not appear in the history even as pending.
+  ps.invoke_buffered = false;
+  ps.buffered_op.clear();
+  ps.has_pending = false;
+  ps.crashed = true;
+  ps.resume_point = {};
+  ps.op = Op{};  // destroy the suspended coroutine chain
+  ++crash_count_;
+  return true;
+}
+
+bool System::step_spurious(ProcId p) {
+  ProcState& ps = procs_[p];
+  if (!ps.has_pending || ps.pending.prim != Prim::kCas) return false;
+  flush_invoke(p);
+  const Pending pending = ps.pending;
+  ps.has_pending = false;
+  // A spuriously failed CAS is exactly a failed CAS to the rest of the
+  // system: no value change, result 0 -- and it still observes the object,
+  // so the knowledge tracker stays a conservative superset.
+  ObjectState& os = objects_[pending.obj];
+  Event ev;
+  ev.proc = p;
+  ev.obj = pending.obj;
+  ev.prim = Prim::kCas;
+  ev.arg = pending.arg;
+  ev.expected = pending.expected;
+  ev.observed = 0;
+  ev.changed = false;
+  ev.spurious = true;
+  ps.aw.unite(os.fam);
+  knowledge_high_water_ = std::max(knowledge_high_water_, ps.aw.count());
+  ps.prim_result = 0;
+  os.last_access = trace_.size();
+  trace_.push_back(ev);
+  ++clock_;
+  ps.steps += 1;
+  ps.last_step = trace_.size() - 1;
+  ps.resume_point.resume();
+  if (!ps.has_pending && ps.op.done()) {
+    (void)ps.op.result();  // rethrow algorithm bugs eagerly
+  }
+  return true;
+}
+
 bool System::step(ProcId p) {
   ProcState& ps = procs_[p];
   if (!ps.has_pending) return false;
@@ -263,7 +322,12 @@ ReplayResult replay_trace(System& fresh, const Trace& script,
       return ReplayResult{false, i,
                           "process completed early during replay"};
     }
-    if (!fresh.step(want.proc)) {
+    // Spurious weak-CAS failures are faults, not value-dependent outcomes:
+    // replay must re-inject them or a CAS that spuriously failed in the
+    // original run could succeed in the replay.
+    const bool stepped = want.spurious ? fresh.step_spurious(want.proc)
+                                       : fresh.step(want.proc);
+    if (!stepped) {
       return ReplayResult{false, i, "process not steppable during replay"};
     }
     const Event& got = fresh.trace().back();

@@ -107,6 +107,10 @@ MaxRegProgram make_unbounded_aac_maxreg_program(std::uint32_t k) {
   return make_maxreg_program<SimUnboundedAacMaxRegister>(k, groups);
 }
 
+MaxRegProgram make_lock_maxreg_program(std::uint32_t k) {
+  return make_maxreg_program<SimLockMaxRegister>(k);
+}
+
 CounterProgram make_farray_counter_program(std::uint32_t n) {
   return make_counter_program<SimFArrayCounter>(n);
 }

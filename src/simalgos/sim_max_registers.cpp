@@ -136,6 +136,29 @@ sim::Op SimAacMaxRegister::write_max(sim::Ctx& ctx, Value v) const {
   co_return 0;
 }
 
+// ------------------------------------------------------- spinlock baseline
+
+SimLockMaxRegister::SimLockMaxRegister(sim::Program& program)
+    : lock_{program.add_object(0)}, cell_{program.add_object(kNoValue)} {}
+
+sim::Op SimLockMaxRegister::read_max(sim::Ctx& ctx) const {
+  while (co_await ctx.cas(lock_, 0, 1) == 0) {
+  }
+  const Value v = co_await ctx.read(cell_);
+  co_await ctx.write(lock_, 0);
+  co_return v;
+}
+
+sim::Op SimLockMaxRegister::write_max(sim::Ctx& ctx, Value v) const {
+  assert(v >= 0);
+  while (co_await ctx.cas(lock_, 0, 1) == 0) {
+  }
+  const Value current = co_await ctx.read(cell_);
+  if (v > current) co_await ctx.write(cell_, v);
+  co_await ctx.write(lock_, 0);
+  co_return 0;
+}
+
 // ------------------------------------------ unbounded AAC (B1 spine)
 
 SimUnboundedAacMaxRegister::SimUnboundedAacMaxRegister(

@@ -3,6 +3,7 @@
 // exercised together the way the benchmarks use them.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
@@ -93,13 +94,21 @@ TEST(Integration, MaxRegisterPlusCounterPipeline) {
   constexpr std::uint32_t kThreads = 4;
   counter::FArrayCounter sequencer{kThreads};
   maxreg::TreeMaxRegister watermark{kThreads};
-  runtime::run_threads(kThreads, [&](std::size_t t) {
-    for (int i = 0; i < 500; ++i) {
-      sequencer.increment(static_cast<ProcId>(t));
-      const Value id = sequencer.read(static_cast<ProcId>(t));
-      watermark.write_max(static_cast<ProcId>(t), id);
-    }
-  });
+  // Watchdog-supervised: if the pipeline ever livelocks, CI gets a loud
+  // failure naming the stuck thread instead of a hang.
+  runtime::WatchdogOptions watchdog;
+  watchdog.deadline = std::chrono::minutes{2};
+  const auto run = runtime::run_threads(
+      kThreads,
+      [&](std::size_t t) {
+        for (int i = 0; i < 500; ++i) {
+          sequencer.increment(static_cast<ProcId>(t));
+          const Value id = sequencer.read(static_cast<ProcId>(t));
+          watermark.write_max(static_cast<ProcId>(t), id);
+        }
+      },
+      watchdog);
+  ASSERT_TRUE(run.completed_in_time) << run.hang.diagnostic;
   EXPECT_EQ(sequencer.read(0), 2000);
   // The watermark saw some read of the counter; after quiescence it must
   // equal the final count (the last incrementer read >= its own final id...

@@ -1,9 +1,12 @@
 // The PCT scheduler itself: determinism per seed, seed sensitivity, the
-// process filter, and completion behavior.
+// process filter, completion behavior, and its interaction with crash
+// faults (crashed processes must be skipped without burning
+// priority-change points).
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "ruco/sim/fault.h"
 #include "ruco/sim/schedulers.h"
 #include "ruco/sim/system.h"
 
@@ -90,6 +93,80 @@ TEST(Pct, RespectsStepBudget) {
   opts.max_steps = 7;
   EXPECT_EQ(run_pct(sys, opts), 7u);
   EXPECT_FALSE(all_done(sys));
+}
+
+// ------------------------------------------------ crash-fault regression
+
+TEST(PctCrash, CrashMidRunLeavesSurvivorsCompleting) {
+  const Program prog = three_writers();
+  System sys{prog};
+  FaultPlan plan;
+  plan.crash_at.push_back(CrashPoint{1, 3, CrashPoint::Basis::kOwnSteps});
+  FaultInjector injector{sys, plan};
+  PctOptions opts;
+  opts.seed = 42;
+  const auto taken = run_pct(sys, opts, injector);
+  ASSERT_EQ(injector.crash_count(), 1u);
+  EXPECT_TRUE(sys.crashed(1));
+  EXPECT_EQ(sys.steps_taken(1), 3u);
+  EXPECT_TRUE(sys.done(0));
+  EXPECT_TRUE(sys.done(2));
+  EXPECT_FALSE(sys.crashed(0));
+  EXPECT_FALSE(sys.crashed(2));
+  // The crash consumed a scheduling slot but no step: the tally equals the
+  // applied-event count exactly (this is the regression -- a crash that
+  // incremented `taken` would also shift every later change point).
+  EXPECT_EQ(taken, sys.trace().size());
+  EXPECT_EQ(taken, 6u + 3u + 6u);
+}
+
+TEST(PctCrash, CrashDoesNotBurnPriorityChangePoints) {
+  // Same seed, same depth: a run whose only difference is an injected
+  // crash must demote at the same applied-step indices.  Compare against
+  // the fault-free run: the schedule prefix before the crashed process's
+  // crash point is identical, which can only hold if crash slots do not
+  // advance the change-point clock.
+  const Program prog = three_writers();
+  PctOptions opts;
+  opts.seed = 42;
+
+  System plain{prog};
+  run_pct(plain, opts);
+  const auto plain_order = schedule_of(plain);
+
+  System faulty{prog};
+  FaultPlan plan;
+  plan.crash_at.push_back(CrashPoint{1, 3, CrashPoint::Basis::kOwnSteps});
+  FaultInjector injector{faulty, plan};
+  run_pct(faulty, opts, injector);
+  ASSERT_EQ(injector.crash_count(), 1u);
+  const auto faulty_order = schedule_of(faulty);
+
+  // Locate the crash in the faulty trace: it fired when p1 had taken 3
+  // steps, i.e. right where p1's 4th event would have been.
+  const std::uint64_t crash_at = injector.crashes()[0].at_trace_size;
+  ASSERT_LE(crash_at, faulty_order.size());
+  for (std::uint64_t i = 0; i < crash_at; ++i) {
+    EXPECT_EQ(faulty_order[i], plain_order[i])
+        << "prefix before the crash diverged at applied step " << i;
+  }
+}
+
+TEST(PctCrash, FaultyRunIsDeterministic) {
+  const Program prog = three_writers();
+  auto run_once = [&prog]() {
+    System sys{prog};
+    FaultPlan plan;
+    plan.seed = 4;
+    plan.max_random_crashes = 1;
+    plan.crash_per_mille = 120;
+    FaultInjector injector{sys, plan};
+    PctOptions opts;
+    opts.seed = 17;
+    run_pct(sys, opts, injector);
+    return schedule_of(sys);
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 }  // namespace

@@ -113,5 +113,60 @@ TEST(RunThreads, ZeroAndOneThreadShortcuts) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(Watchdog, FastWorkersCompleteInTime) {
+  std::vector<std::atomic<int>> hits(4);
+  WatchdogOptions watchdog;
+  watchdog.deadline = std::chrono::milliseconds{10'000};
+  const auto result = run_threads(
+      4, [&hits](std::size_t i) { hits[i].fetch_add(1); }, watchdog);
+  EXPECT_TRUE(result.completed_in_time);
+  EXPECT_TRUE(result.hang.stuck.empty());
+  EXPECT_TRUE(result.hang.diagnostic.empty());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Watchdog, ZeroDeadlineDisablesSupervision) {
+  std::vector<std::atomic<int>> hits(3);
+  const auto result = run_threads(
+      3, [&hits](std::size_t i) { hits[i].fetch_add(1); }, WatchdogOptions{});
+  EXPECT_TRUE(result.completed_in_time);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Watchdog, NamesTheStuckThread) {
+  // Thread 1 blocks until released; the watchdog must fire, name exactly
+  // thread 1, and the on_hang handler releases it so joins still succeed
+  // (no detached threads, CP.25).
+  std::atomic<bool> release{false};
+  HangReport seen;
+  std::atomic<int> hang_calls{0};
+  WatchdogOptions watchdog;
+  watchdog.deadline = std::chrono::milliseconds{500};
+  watchdog.on_hang = [&](const HangReport& report) {
+    seen = report;
+    hang_calls.fetch_add(1);
+    release.store(true, std::memory_order_release);
+  };
+  const auto result = run_threads(
+      3,
+      [&release](std::size_t i) {
+        if (i == 1) {
+          while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        }
+      },
+      watchdog);
+  EXPECT_FALSE(result.completed_in_time);
+  EXPECT_EQ(hang_calls.load(), 1);
+  ASSERT_EQ(seen.stuck.size(), 1u);
+  EXPECT_EQ(seen.stuck[0], 1u);
+  EXPECT_NE(seen.diagnostic.find("stuck thread index(es): 1"),
+            std::string::npos)
+      << seen.diagnostic;
+  EXPECT_NE(seen.diagnostic.find("1 of 3 workers"), std::string::npos)
+      << seen.diagnostic;
+}
+
 }  // namespace
 }  // namespace ruco::runtime

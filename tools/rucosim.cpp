@@ -9,11 +9,25 @@
 //       Run the Theorem 1 construction against a counter and report
 //       rounds, knowledge growth, and the Lemma 3 reader probe.
 //
-//   rucosim run --target=<cas|tree|aac|uaac> --k=<K> [--seed=S] [--pct]
+//   rucosim run --target=<cas|tree|aac|uaac|lock> --k=<K> [--seed=S] [--pct]
 //               [--show=N] [--dot]
+//               [--crash-proc=P [--crash-step=K]] [--crash-rate=PERMILLE]
+//               [--max-crashes=F] [--spurious=PERMILLE] [--fault-seed=S]
 //       Execute the standard writers+reader program under a random (or
 //       PCT) schedule, check linearizability, render the first N trace
-//       events, and optionally dump the knowledge graph as DOT.
+//       events, and optionally dump the knowledge graph as DOT.  The
+//       --crash*/--spurious flags inject faults: crash process P after K
+//       of its own steps, crash random processes at the given per-step
+//       per-mille rate (up to F crashes), or fail pending CASes
+//       spuriously.  Crashed operations stay pending in the history; the
+//       linearizability check must still pass, and the faulty trace is
+//       re-verified via replay.
+//
+//   rucosim certify --target=<cas|tree|aac|uaac|lock> --k=<K>
+//                   [--sweep=N] [--storms=N] [--bound=B]
+//       Run the wait-freedom certifier (crash sweep + crash storms) and
+//       report the per-process step bound.  All targets but `lock` must
+//       certify; `lock` must fail (blocking negative control).
 //
 // Exit code 0 iff every check performed passed.
 #include <cstdint>
@@ -26,6 +40,8 @@
 #include "ruco/core/table.h"
 #include "ruco/lincheck/checker.h"
 #include "ruco/lincheck/specs.h"
+#include "ruco/sim/certify.h"
+#include "ruco/sim/fault.h"
 #include "ruco/sim/schedulers.h"
 #include "ruco/sim/system.h"
 #include "ruco/sim/trace_render.h"
@@ -83,7 +99,40 @@ ruco::simalgos::MaxRegProgram make_target(const std::string& name,
   if (name == "uaac") {
     return ruco::simalgos::make_unbounded_aac_maxreg_program(k);
   }
+  if (name == "lock") return ruco::simalgos::make_lock_maxreg_program(k);
+  if (name != "cas") {
+    std::cerr << "warning: unknown target '" << name
+              << "', falling back to cas\n";
+  }
   return ruco::simalgos::make_cas_maxreg_program(k);
+}
+
+/// Builds the FaultPlan described by the --crash*/--spurious flags;
+/// returns whether any fault flag was given.
+bool parse_fault_plan(const Args& args, std::uint64_t fallback_seed,
+                      ruco::sim::FaultPlan& plan) {
+  bool faulty = false;
+  plan.seed = args.get_u64("fault-seed", fallback_seed);
+  if (args.has("crash-proc")) {
+    plan.crash_at.push_back(ruco::sim::CrashPoint{
+        static_cast<ProcId>(args.get_u64("crash-proc", 0)),
+        args.get_u64("crash-step", 0),
+        ruco::sim::CrashPoint::Basis::kOwnSteps});
+    faulty = true;
+  }
+  if (args.has("crash-rate")) {
+    plan.crash_per_mille =
+        static_cast<std::uint32_t>(args.get_u64("crash-rate", 50));
+    plan.max_random_crashes =
+        static_cast<std::uint32_t>(args.get_u64("max-crashes", 1));
+    faulty = true;
+  }
+  if (args.has("spurious")) {
+    plan.spurious_cas_per_mille =
+        static_cast<std::uint32_t>(args.get_u64("spurious", 100));
+    faulty = true;
+  }
+  return faulty;
 }
 
 int cmd_adversary(const Args& args) {
@@ -147,16 +196,49 @@ int cmd_run(const Args& args) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   auto bundle = make_target(target, k);
   ruco::sim::System sys{bundle.program};
+  ruco::sim::FaultPlan plan;
+  const bool faulty = parse_fault_plan(args, seed, plan);
+  ruco::sim::FaultInjector injector{sys, plan};
   if (args.has("pct")) {
     ruco::sim::PctOptions opts;
     opts.seed = seed;
-    ruco::sim::run_pct(sys, opts);
+    if (faulty) {
+      ruco::sim::run_pct(sys, opts, injector);
+    } else {
+      ruco::sim::run_pct(sys, opts);
+    }
+  } else if (faulty) {
+    ruco::sim::run_random(sys, seed, 1u << 24, injector);
   } else {
     ruco::sim::run_random(sys, seed, 1u << 24);
   }
   if (!ruco::sim::all_done(sys)) {
     std::cout << "schedule budget exhausted before completion\n";
     return 1;
+  }
+  bool replay_ok = true;
+  if (faulty) {
+    for (const auto& crash : injector.crashes()) {
+      std::cout << "CRASH p" << crash.proc << " after " << crash.own_steps
+                << " own steps (global step " << crash.at_trace_size
+                << ")\n";
+    }
+    if (injector.spurious_count() != 0) {
+      std::cout << injector.spurious_count()
+                << " spurious weak-CAS failure(s)\n";
+    }
+    if (injector.unfired_placements() != 0) {
+      std::cout << "note: " << injector.unfired_placements()
+                << " crash placement(s) never fired (the process completed "
+                   "before its step threshold)\n";
+    }
+    // Faulty executions must replay exactly (crashes leave the surviving
+    // prefix legal; spurious failures are re-injected from the trace).
+    ruco::sim::System fresh{bundle.program};
+    const auto replay =
+        ruco::sim::replay_trace(fresh, sys.trace(), /*check_responses=*/true);
+    replay_ok = replay.ok;
+    std::cout << "replay: " << (replay.ok ? "ok" : replay.message) << "\n";
   }
   const auto res = ruco::lincheck::check_linearizable(
       ruco::lincheck::from_sim_history(sys.history()),
@@ -166,15 +248,44 @@ int cmd_run(const Args& args) {
   render.max_events = show;
   std::cout << ruco::sim::render_trace(sys.trace(), sys.num_processes(),
                                        render);
-  std::cout << "\nsteps: " << sys.trace().size()
-            << ", linearizable: " << (res.linearizable ? "yes" : "NO")
+  std::cout << "\nsteps: " << sys.trace().size();
+  if (sys.crash_count() != 0) {
+    std::cout << ", crashes: " << sys.crash_count() << " (pending ops: "
+              << ruco::lincheck::from_sim_history(sys.history())
+                     .pending_count()
+              << ")";
+  }
+  std::cout << ", linearizable: " << (res.linearizable ? "yes" : "NO")
             << " (" << res.states_explored << " states)\n";
   if (args.has("dot")) {
     std::cout << "\n"
               << ruco::sim::knowledge_dot(sys.trace(), sys.num_processes(),
                                           sys.num_objects());
   }
-  return res.decided && res.linearizable ? 0 : 1;
+  return res.decided && res.linearizable && replay_ok ? 0 : 1;
+}
+
+int cmd_certify(const Args& args) {
+  const std::string target = args.get("target", "tree");
+  const auto k = static_cast<std::uint32_t>(args.get_u64("k", 8));
+  auto bundle = make_target(target, k);
+  ruco::sim::WaitFreedomOptions opts;
+  opts.step_bound = args.get_u64("bound", 0);
+  opts.sweep_steps = args.get_u64("sweep", 16);
+  opts.storm_seeds = args.get_u64("storms", 8);
+  const auto report =
+      ruco::sim::certify_wait_freedom(bundle.program, opts);
+  std::cout << "wait-freedom certification: " << target << ", K = " << k
+            << "\n";
+  ruco::Table t{{"schedules", "step bound", "worst survivor", "certified"}};
+  t.add(report.schedules, report.step_bound, report.worst_survivor_steps,
+        report.certified ? "yes" : "NO");
+  t.print();
+  if (!report.message.empty()) std::cout << report.message << "\n";
+  // `lock` is the blocking negative control: failing is its correct result.
+  const bool expected = target == "lock" ? !report.certified
+                                         : report.certified;
+  return expected ? 0 : 1;
 }
 
 int usage() {
@@ -183,8 +294,13 @@ int usage() {
                " [--max-iter=N] [--min-active=M]\n"
                "  rucosim starve    --counter=<farray|maxreg|kcas|dcsnap>"
                " --n=<N>\n"
-               "  rucosim run       --target=<cas|tree|aac|uaac> --k=<K>"
-               " [--seed=S] [--pct] [--show=N] [--dot]\n";
+               "  rucosim run       --target=<cas|tree|aac|uaac|lock> --k=<K>"
+               " [--seed=S] [--pct] [--show=N] [--dot]\n"
+               "                    [--crash-proc=P [--crash-step=K]]"
+               " [--crash-rate=PERMILLE] [--max-crashes=F]\n"
+               "                    [--spurious=PERMILLE] [--fault-seed=S]\n"
+               "  rucosim certify   --target=<cas|tree|aac|uaac|lock> --k=<K>"
+               " [--sweep=N] [--storms=N] [--bound=B]\n";
   return 2;
 }
 
@@ -196,6 +312,7 @@ int main(int argc, char** argv) {
     if (args.command == "adversary") return cmd_adversary(args);
     if (args.command == "starve") return cmd_starve(args);
     if (args.command == "run") return cmd_run(args);
+    if (args.command == "certify") return cmd_certify(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
