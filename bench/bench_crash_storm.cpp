@@ -5,10 +5,15 @@
 // mid-operation; the spinlock register is the blocking contrast: one
 // crashed lock holder and the survivors spin until the schedule budget
 // runs out.
+//
+// --json <path> dumps the table as JSON; --smoke shrinks the seed count
+// for fast CI runs.
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ruco/core/table.h"
 #include "ruco/sim/fault.h"
@@ -51,12 +56,20 @@ StormResult run_storms(const ruco::sim::Program& program,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+
   std::cout << "# Crash storms: worst survivor step count vs crashes "
                "injected (f < N = 8)\n\n";
 
   constexpr std::uint32_t kProcs = 8;
-  constexpr std::uint64_t kSeeds = 32;
+  const std::uint64_t kSeeds = smoke ? 8 : 32;
   // Small budget: wait-free survivors need only dozens of steps; a blocking
   // survivor spins to the budget, so a tight one keeps the contrast fast.
   constexpr std::uint64_t kBudget = 1u << 14;
@@ -80,15 +93,38 @@ int main() {
       {"LOCK maxreg (blocking)", lock.program},
   };
 
+  struct Row {
+    std::string name;
+    std::uint32_t f = 0;
+    StormResult r;
+  };
+  std::vector<Row> rows;
   ruco::Table t{{"algorithm", "max crashes", "crashes injected",
                  "worst survivor steps", "all survivors done"}};
   for (const auto& target : targets) {
     for (const std::uint32_t f : {0u, 1u, 2u, 4u, kProcs - 1}) {
       const auto r = run_storms(target.program, f, kSeeds, kBudget);
       t.add(target.name, f, r.crashes, r.worst, r.all_completed ? "yes" : "NO");
+      rows.push_back({target.name, f, r});
     }
   }
   t.print();
+  if (!json_path.empty()) {
+    std::ofstream out{json_path};
+    out << "{\n  \"bench\": \"crash_storm\",\n  \"procs\": " << kProcs
+        << ",\n  \"seeds\": " << kSeeds << ",\n  \"series\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"algorithm\": \"" << rows[i].name
+          << "\", \"max_crashes\": " << rows[i].f
+          << ", \"crashes_injected\": " << rows[i].r.crashes
+          << ", \"worst_survivor_steps\": " << rows[i].r.worst
+          << ", \"all_survivors_done\": "
+          << (rows[i].r.all_completed ? "true" : "false") << "}"
+          << (i + 1 == rows.size() ? "" : ",") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   std::cout
       << "\nShape check: for the wait-free algorithms the worst survivor "
          "step count stays flat (within the fault-free ballpark) as f grows "

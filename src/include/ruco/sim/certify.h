@@ -54,6 +54,13 @@ struct WaitFreedomOptions {
   /// Backstop schedule budget; exhausting it with survivors still active
   /// is itself a certification failure (a blocked survivor).
   std::uint64_t max_schedule_steps = 1u << 20;
+
+  /// Worker threads for the sweep and storm phases (each schedule is an
+  /// independent job on its own System).  The report is deterministic for
+  /// any value: jobs are claimed in ascending order through
+  /// ruco/sim/parallel.h, so the first failure, the schedule count and the
+  /// worst-survivor aggregate match the sequential run.  1 = sequential.
+  std::uint32_t jobs = 1;
 };
 
 struct WaitFreedomReport {

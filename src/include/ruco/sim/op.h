@@ -11,6 +11,14 @@
 // awaiting WriteMax on an internal max register).  Suspension always
 // propagates to the scheduler from the innermost primitive; completion of an
 // inner Op transfers control back to its awaiter symmetrically.
+//
+// Coroutine frames cannot be copied or rewound, which shapes the model
+// checker: interior states are reconstructed by replay, and System::reset
+// restores a System to its initial state by destroying every process's Op
+// chain and respawning it (the exploration engine's backtrack primitive --
+// see ruco/sim/model_checker.h).  The enabled event, by contrast, IS
+// inspectable before a step runs; the engine's independence relation is
+// computed entirely from pairs of enabled events.
 #pragma once
 
 #include <coroutine>

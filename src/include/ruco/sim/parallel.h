@@ -1,0 +1,72 @@
+// Deterministic ordered job pool for the exploration engine and the
+// certification sweeps.
+//
+// Jobs are identified by a dense index [0, count).  Workers *steal work by
+// claiming*: each idle worker grabs the next unclaimed index from a shared
+// atomic counter, so load balances itself without per-thread deques (the
+// jobs are coarse -- whole DFS subtrees or whole fault schedules -- which
+// makes a single counter contention-free in practice).
+//
+// The protocol is designed so that results can be merged deterministically
+// regardless of thread count or timing:
+//
+//   * indexes are claimed in ascending order;
+//   * when fn(i) returns false ("stop"), no index > i is started afterwards,
+//     while already-started lower indexes run to completion;
+//   * therefore the smallest stopping index w is deterministic, and every
+//     index <= w is guaranteed to have run -- a merge that scans results in
+//     index order and stops at the first recorded failure sees exactly what
+//     a sequential loop would have seen.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ruco::sim {
+
+/// Runs fn(i) for i in [0, count) across up to `threads` workers (1 =
+/// inline sequential loop, bit-identical to `for (...) if (!fn(i)) break`).
+/// `fn` must be safe to call concurrently on distinct indexes.
+template <typename Fn>
+void run_ordered_jobs(std::size_t count, std::uint32_t threads, Fn&& fn) {
+  if (count == 0) return;
+  threads = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(threads,
+                                 static_cast<std::uint32_t>(
+                                     std::min<std::size_t>(count, UINT32_MAX))));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!fn(i)) break;
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> stop_at{count};  // no index >= stop_at may start
+  auto worker = [&next, &stop_at, &fn] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= stop_at.load(std::memory_order_acquire)) break;
+      if (!fn(i)) {
+        // Clamp the start horizon to i+1.  stop_at only ever decreases, so
+        // any index claimed before the clamp and below the final horizon
+        // still runs -- exactly the determinism guarantee above.
+        std::size_t cur = stop_at.load(std::memory_order_relaxed);
+        while (cur > i + 1 &&
+               !stop_at.compare_exchange_weak(cur, i + 1,
+                                              std::memory_order_release)) {
+        }
+        break;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace ruco::sim

@@ -4,6 +4,7 @@
 // which keeps the online awareness tracker cheap even at N = 4096.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -14,6 +15,9 @@ namespace ruco::sim {
 
 class ProcSet {
  public:
+  /// Sentinel returned by next() when no member >= `from` exists.
+  static constexpr ProcId kNone = UINT32_MAX;
+
   ProcSet() = default;
   explicit ProcSet(std::size_t universe)
       : universe_{universe}, words_((universe + 63) / 64, 0) {}
@@ -31,6 +35,24 @@ class ProcSet {
   }
   void clear() {
     for (auto& w : words_) w = 0;
+  }
+
+  /// First member >= `from`, or kNone.  Allocation-free iteration:
+  ///   for (ProcId p = s.next(0); p != ProcSet::kNone; p = s.next(p + 1))
+  /// Word-wise scan with a countr_zero on the first non-empty word, so a
+  /// full sweep costs O(N/64) even when the set is sparse -- this is what
+  /// the model checker's per-node ready scans use.
+  [[nodiscard]] ProcId next(ProcId from) const noexcept {
+    std::size_t w = from >> 6;
+    if (w >= words_.size()) return kNone;
+    std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (bits != 0) {
+        return static_cast<ProcId>((w << 6) + std::countr_zero(bits));
+      }
+      if (++w >= words_.size()) return kNone;
+      bits = words_[w];
+    }
   }
 
   [[nodiscard]] std::size_t count() const;

@@ -97,6 +97,24 @@ class Program {
   ObjectId add_object(Value initial);
   /// Adds a process; returns its id (dense, in spawn order).
   ProcId add_process(std::function<Op(Ctx&)> body);
+  /// Footprint-declaring overload for the model checker's persistent-set
+  /// filter.  The declaration is a *promise* about the body under every
+  /// schedule: (1) it only ever accesses base objects in `footprint`, and
+  /// (2) it performs at most one history-annotated operation (one
+  /// mark_invoke).  The System enforces both at runtime (std::logic_error
+  /// on violation), so a wrong declaration fails loudly instead of letting
+  /// the checker prune unsoundly.  `footprint` must be non-empty.
+  ProcId add_process(std::function<Op(Ctx&)> body,
+                     std::vector<ObjectId> footprint);
+
+  /// True iff p was added with a declared footprint.
+  [[nodiscard]] bool has_footprint(ProcId p) const noexcept {
+    return !footprints_[p].empty();
+  }
+  /// Sorted, deduplicated declared footprint (empty = undeclared).
+  [[nodiscard]] const std::vector<ObjectId>& footprint(ProcId p) const {
+    return footprints_[p];
+  }
 
   [[nodiscard]] std::size_t num_objects() const noexcept {
     return object_init_.size();
@@ -109,13 +127,24 @@ class Program {
   friend class System;
   std::vector<Value> object_init_;
   std::vector<std::function<Op(Ctx&)>> bodies_;
+  std::vector<std::vector<ObjectId>> footprints_;  // empty = undeclared
 };
 
 class System {
  public:
+  /// `program` must outlive the System (reset() respawns from it).
   explicit System(const Program& program);
   System(const System&) = delete;
   System& operator=(const System&) = delete;
+
+  /// Rewinds to the initial state of the same Program, reusing every
+  /// allocation it can (object table, process table, trace/history
+  /// capacity, ProcSet words).  Coroutine frames cannot be rewound, so the
+  /// process bodies are destroyed and respawned -- but that is the *only*
+  /// unavoidable per-reset allocation, which makes reset() much cheaper
+  /// than constructing a fresh System.  The replay-light model checker
+  /// calls this on every backtrack, so it is on the hot path.
+  void reset();
 
   /// Applies the enabled event of process p and runs p to its next
   /// suspension (or completion).  Returns false iff p has no enabled event
@@ -155,6 +184,27 @@ class System {
   /// Would p's enabled event change its target object's value right now?
   /// (Triviality pre-classification used by Lemma 1 and Lemma 4 case 2.)
   [[nodiscard]] bool pending_would_change(ProcId p) const;
+
+  /// p's next step would stamp a deferred mark_invoke into the history.
+  /// Knowable *before* the step -- the model checker's independence
+  /// relation treats such steps as dependent with everything, because the
+  /// invoke timestamp orders p's operation against every other operation's
+  /// response (see docs/MODEL.md, "Independence and the history").
+  [[nodiscard]] bool will_flush_invoke(ProcId p) const noexcept {
+    return procs_[p].invoke_buffered;
+  }
+
+  /// Cached set of active processes (those with an enabled event),
+  /// maintained incrementally by the constructor, step, step_spurious and
+  /// crash.  Lets schedulers and the model checker scan the ready set in
+  /// O(live/64) instead of O(N) per node.
+  [[nodiscard]] const ProcSet& active_set() const noexcept { return active_; }
+  /// |active_set()| in O(1).
+  [[nodiscard]] std::uint32_t live_count() const noexcept {
+    return live_count_;
+  }
+  /// Every process completed or crashed, in O(1).
+  [[nodiscard]] bool all_done() const noexcept { return live_count_ == 0; }
 
   /// p will never step again: completed *or* crashed (check crashed(p) to
   /// tell the two apart).
@@ -235,6 +285,8 @@ class System {
     bool invoke_buffered = false;
     std::string buffered_op;
     Value buffered_arg = 0;
+    // mark_invoke calls so far; footprint-declared processes promise <= 1.
+    std::uint32_t invokes = 0;
   };
 
   void flush_invoke(ProcId p);
@@ -248,8 +300,13 @@ class System {
   void retract_overwritten(ObjectState& os);
   void rebuild_familiarity(ObjectState& os);
 
+  void check_footprint(ProcId p, const Pending& pending) const;
+
+  const Program* program_ = nullptr;
   std::vector<ObjectState> objects_;
   std::vector<ProcState> procs_;
+  ProcSet active_;  // cached {p : has_pending}; see active_set()
+  std::uint32_t live_count_ = 0;
   Trace trace_;
   std::vector<HistoryEvent> history_;
   std::uint64_t clock_ = 0;  // advances on every step and annotation

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "ruco/sim/parallel.h"
 #include "ruco/sim/schedulers.h"
 #include "ruco/util/rng.h"
 
@@ -20,11 +21,7 @@ namespace {
 std::string drive(System& sys, FaultInjector& injector, std::uint64_t bound,
                   std::uint64_t budget, util::SplitMix64* rng) {
   std::uint64_t slots = 0;
-  std::vector<ProcId> live;
-  live.reserve(sys.num_processes());
-  for (ProcId p = 0; p < sys.num_processes(); ++p) {
-    if (sys.active(p)) live.push_back(p);
-  }
+  std::vector<ProcId> live = sys.active_set().members();
   std::size_t rr_next = 0;
   while (!live.empty() && slots < budget) {
     const std::size_t i =
@@ -87,49 +84,80 @@ WaitFreedomReport certify_wait_freedom(const Program& program,
                           : options.slack * std::max<std::uint64_t>(
                                                 max_baseline, 1);
 
-  const auto run_one = [&](const FaultPlan& plan, util::SplitMix64* rng,
-                           const std::string& label) {
-    System sys{program};
-    FaultInjector injector{sys, plan};
-    const std::string diag = drive(sys, injector, report.step_bound,
-                                   options.max_schedule_steps, rng);
-    ++report.schedules;
-    record_survivors(sys, &report.worst_survivor_steps);
-    if (!diag.empty() && report.certified) {
-      report.certified = false;
-      report.message = label + ": " + diag;
-    }
-    return diag.empty();
+  // Build the full job list up front -- (1) the deterministic crash sweep
+  // (every process, every own-step prefix), then (2) the seeded storms --
+  // and run it through the ordered job pool.  Each job drives one fault
+  // schedule on its own System, so jobs parallelize embarrassingly; the
+  // pool's ascending-claim protocol keeps the report deterministic (the
+  // recorded failure is the first job that would have failed sequentially,
+  // and every job before it is guaranteed to have run).
+  struct CrashJob {
+    FaultPlan plan;
+    bool storm = false;  // storms randomize the scheduler from plan.seed
+    std::string label;
   };
-
-  // (1) Deterministic crash sweep: every process, every own-step prefix.
-  for (ProcId p = 0; p < n && report.certified; ++p) {
+  std::vector<CrashJob> jobs;
+  for (ProcId p = 0; p < n; ++p) {
     const std::uint64_t limit =
         std::min(options.sweep_steps,
                  baseline[p] == 0 ? std::uint64_t{0} : baseline[p] - 1);
-    for (std::uint64_t k = 0; k <= limit && report.certified; ++k) {
-      FaultPlan plan;
-      plan.crash_at.push_back(
+    for (std::uint64_t k = 0; k <= limit; ++k) {
+      CrashJob job;
+      job.plan.crash_at.push_back(
           CrashPoint{p, k, CrashPoint::Basis::kOwnSteps});
-      run_one(plan, nullptr,
-              "sweep crash(p" + std::to_string(p) + " after " +
-                  std::to_string(k) + " steps)");
+      job.label = "sweep crash(p" + std::to_string(p) + " after " +
+                  std::to_string(k) + " steps)";
+      jobs.push_back(std::move(job));
     }
   }
-
-  // (2) Seeded random crash storms.
   const std::uint32_t quota = static_cast<std::uint32_t>(std::min<std::uint64_t>(
       options.max_crashes, n > 0 ? n - 1 : 0));
-  for (std::uint64_t seed = 1;
-       seed <= options.storm_seeds && report.certified; ++seed) {
-    FaultPlan plan;
-    plan.seed = seed;
-    plan.max_random_crashes = quota;
-    plan.crash_per_mille = options.crash_per_mille;
-    util::SplitMix64 sched_rng{seed ^ 0x9e3779b97f4a7c15ULL};
-    run_one(plan, &sched_rng, "storm seed " + std::to_string(seed));
+  for (std::uint64_t seed = 1; seed <= options.storm_seeds; ++seed) {
+    CrashJob job;
+    job.plan.seed = seed;
+    job.plan.max_random_crashes = quota;
+    job.plan.crash_per_mille = options.crash_per_mille;
+    job.storm = true;
+    job.label = "storm seed " + std::to_string(seed);
+    jobs.push_back(std::move(job));
   }
 
+  struct JobResult {
+    bool ran = false;
+    bool passed = false;
+    std::string diag;
+    std::uint64_t worst = 0;
+  };
+  std::vector<JobResult> results(jobs.size());
+  run_ordered_jobs(jobs.size(), options.jobs, [&](std::size_t i) {
+    const CrashJob& job = jobs[i];
+    System sys{program};
+    FaultInjector injector{sys, job.plan};
+    util::SplitMix64 sched_rng{job.plan.seed ^ 0x9e3779b97f4a7c15ULL};
+    JobResult& r = results[i];
+    r.diag = drive(sys, injector, report.step_bound,
+                   options.max_schedule_steps,
+                   job.storm ? &sched_rng : nullptr);
+    record_survivors(sys, &r.worst);
+    r.passed = r.diag.empty();
+    r.ran = true;
+    return r.passed;
+  });
+
+  // Sequential-equivalent merge: count schedules (and aggregate the worst
+  // survivor) up to and including the first failure, exactly like the old
+  // stop-at-first-failure loops.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!results[i].ran) break;
+    ++report.schedules;
+    report.worst_survivor_steps =
+        std::max(report.worst_survivor_steps, results[i].worst);
+    if (!results[i].passed) {
+      report.certified = false;
+      report.message = jobs[i].label + ": " + results[i].diag;
+      break;
+    }
+  }
   return report;
 }
 

@@ -35,9 +35,14 @@ std::uint64_t round_robin_impl(System& sys, std::uint64_t max_steps,
                                Stepper stepper) {
   std::uint64_t taken = 0;
   bool any = true;
+  // Sweep the cached active set instead of all N processes: stepping (or
+  // crashing) p only ever removes p itself, so advancing with next(p + 1)
+  // mid-mutation still visits exactly the processes that were active.
   while (any && taken < max_steps) {
     any = false;
-    for (ProcId p = 0; p < sys.num_processes() && taken < max_steps; ++p) {
+    const ProcSet& active = sys.active_set();
+    for (ProcId p = active.next(0);
+         p != ProcSet::kNone && taken < max_steps; p = active.next(p + 1)) {
       switch (stepper.step(p)) {
         case Outcome::kStepped:
           ++taken;
@@ -59,11 +64,7 @@ std::uint64_t random_impl(System& sys, std::uint64_t seed,
                           std::uint64_t max_steps, Stepper stepper) {
   util::SplitMix64 rng{seed};
   std::uint64_t taken = 0;
-  std::vector<ProcId> live;
-  live.reserve(sys.num_processes());
-  for (ProcId p = 0; p < sys.num_processes(); ++p) {
-    if (sys.active(p)) live.push_back(p);
-  }
+  std::vector<ProcId> live = sys.active_set().members();
   while (!live.empty() && taken < max_steps) {
     const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
     const ProcId p = live[i];
@@ -105,8 +106,10 @@ std::uint64_t pct_impl(System& sys, const PctOptions& options,
   std::uint64_t next_demoted_priority = options.depth - 1;
   while (taken < options.max_steps) {
     ProcId best = UINT32_MAX;
-    for (ProcId p = 0; p < n; ++p) {
-      if (eligible[p] && sys.active(p) &&
+    const ProcSet& active = sys.active_set();
+    for (ProcId p = active.next(0); p != ProcSet::kNone;
+         p = active.next(p + 1)) {
+      if (eligible[p] &&
           (best == UINT32_MAX || priority[p] > priority[best])) {
         best = p;
       }
@@ -168,12 +171,7 @@ std::uint64_t run_script(System& sys, std::span<const ProcId> script) {
   return taken;
 }
 
-bool all_done(const System& sys) {
-  for (ProcId p = 0; p < sys.num_processes(); ++p) {
-    if (sys.active(p)) return false;
-  }
-  return true;
-}
+bool all_done(const System& sys) { return sys.all_done(); }
 
 std::uint64_t run_pct(System& sys, const PctOptions& options) {
   return pct_impl(sys, options, DirectStepper{sys});

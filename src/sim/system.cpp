@@ -13,11 +13,34 @@ ObjectId Program::add_object(Value initial) {
 
 ProcId Program::add_process(std::function<Op(Ctx&)> body) {
   bodies_.push_back(std::move(body));
+  footprints_.emplace_back();
+  return static_cast<ProcId>(bodies_.size() - 1);
+}
+
+ProcId Program::add_process(std::function<Op(Ctx&)> body,
+                            std::vector<ObjectId> footprint) {
+  if (footprint.empty()) {
+    throw std::invalid_argument{
+        "Program::add_process: declared footprint must be non-empty (omit "
+        "it entirely for an undeclared process)"};
+  }
+  std::sort(footprint.begin(), footprint.end());
+  footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                  footprint.end());
+  bodies_.push_back(std::move(body));
+  footprints_.push_back(std::move(footprint));
   return static_cast<ProcId>(bodies_.size() - 1);
 }
 
 void Ctx::mark_invoke(std::string_view op, Value arg) {
   auto& ps = sys_->procs_[id_];
+  if (++ps.invokes > 1 && sys_->program_->has_footprint(id_)) {
+    throw std::logic_error{
+        "Ctx::mark_invoke: footprint-declared process p" +
+        std::to_string(id_) +
+        " performed a second operation; the persistent-set filter requires "
+        "at most one (drop the footprint declaration)"};
+  }
   ps.invoke_buffered = true;
   ps.buffered_op = std::string{op};
   ps.buffered_arg = arg;
@@ -48,15 +71,10 @@ void System::flush_invoke(ProcId p) {
                                   {}, clock_++});
 }
 
-System::System(const Program& program) {
+System::System(const Program& program) : program_{&program} {
   const std::size_t n = program.num_processes();
-  objects_.reserve(program.num_objects());
-  for (const Value init : program.object_init_) {
-    ObjectState os;
-    os.value = init;
-    os.fam = ProcSet{n};
-    objects_.push_back(std::move(os));
-  }
+  objects_.resize(program.num_objects());
+  for (auto& os : objects_) os.fam = ProcSet{n};
   // procs_ must never reallocate: coroutine frames hold Ctx&.
   procs_ = std::vector<ProcState>(n);
   for (ProcId p = 0; p < n; ++p) {
@@ -64,12 +82,51 @@ System::System(const Program& program) {
     ps.ctx.sys_ = this;
     ps.ctx.id_ = p;
     ps.aw = ProcSet{n};
+  }
+  active_ = ProcSet{n};
+  reset();
+}
+
+void System::reset() {
+  const Program& program = *program_;
+  for (std::size_t o = 0; o < objects_.size(); ++o) {
+    ObjectState& os = objects_[o];
+    os.value = program.object_init_[o];
+    os.fam.clear();
+    os.contribs.clear();
+    os.last_access = kNoEvent;
+  }
+  trace_.clear();
+  history_.clear();
+  clock_ = 0;
+  knowledge_high_water_ = 1;
+  crash_count_ = 0;
+  active_.clear();
+  live_count_ = 0;
+  for (ProcId p = 0; p < procs_.size(); ++p) {
+    ProcState& ps = procs_[p];
+    ps.op = Op{};  // destroy any previously suspended coroutine chain
+    ps.resume_point = {};
+    ps.has_pending = false;
+    ps.crashed = false;
+    ps.prim_result = 0;
+    ps.aw.clear();
     ps.aw.add(p);  // initially, each process is aware only of itself
+    ps.steps = 0;
+    ps.last_step = kNoEvent;
+    ps.invoke_buffered = false;
+    ps.buffered_op.clear();
+    ps.buffered_arg = 0;
+    ps.invokes = 0;
     ps.op = program.bodies_[p](ps.ctx);
     // Run to the first suspension so the enabled event is visible.
     ps.op.resume_from_system();
     if (ps.op.done() && !ps.has_pending) {
       (void)ps.op.result();  // surface construction-time exceptions
+    }
+    if (ps.has_pending) {
+      active_.add(p);
+      ++live_count_;
     }
   }
 }
@@ -129,6 +186,8 @@ bool System::crash(ProcId p) {
   ps.resume_point = {};
   ps.op = Op{};  // destroy the suspended coroutine chain
   ++crash_count_;
+  active_.remove(p);
+  --live_count_;
   return true;
 }
 
@@ -160,8 +219,12 @@ bool System::step_spurious(ProcId p) {
   ps.steps += 1;
   ps.last_step = trace_.size() - 1;
   ps.resume_point.resume();
-  if (!ps.has_pending && ps.op.done()) {
-    (void)ps.op.result();  // rethrow algorithm bugs eagerly
+  if (!ps.has_pending) {
+    active_.remove(p);
+    --live_count_;
+    if (ps.op.done()) {
+      (void)ps.op.result();  // rethrow algorithm bugs eagerly
+    }
   }
   return true;
 }
@@ -178,13 +241,38 @@ bool System::step(ProcId p) {
   // Resume the innermost suspended coroutine; it either posts a new pending
   // event or runs the op (chain) to completion.
   ps.resume_point.resume();
-  if (!ps.has_pending && ps.op.done()) {
-    (void)ps.op.result();  // rethrow algorithm bugs eagerly
+  if (!ps.has_pending) {
+    active_.remove(p);
+    --live_count_;
+    if (ps.op.done()) {
+      (void)ps.op.result();  // rethrow algorithm bugs eagerly
+    }
   }
   return true;
 }
 
+void System::check_footprint(ProcId p, const Pending& pending) const {
+  const std::vector<ObjectId>& fp = program_->footprint(p);
+  const auto in_fp = [&fp](ObjectId o) {
+    return std::binary_search(fp.begin(), fp.end(), o);
+  };
+  bool ok = true;
+  if (pending.prim == Prim::kKcas) {
+    for (const auto& entry : pending.kcas) ok = ok && in_fp(entry.obj);
+  } else {
+    ok = in_fp(pending.obj);
+  }
+  if (!ok) {
+    throw std::logic_error{
+        "System: process p" + std::to_string(p) + " accessed object " +
+        std::to_string(pending.obj) +
+        " outside its declared footprint; the persistent-set filter would "
+        "be unsound (fix or drop the declaration)"};
+  }
+}
+
 void System::apply(ProcId p, const Pending& pending) {
+  if (program_->has_footprint(p)) check_footprint(p, pending);
   ObjectState& os = objects_[pending.obj];
   ProcState& ps = procs_[p];
   Event ev;

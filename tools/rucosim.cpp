@@ -24,10 +24,22 @@
 //       re-verified via replay.
 //
 //   rucosim certify --target=<cas|tree|aac|uaac|lock> --k=<K>
-//                   [--sweep=N] [--storms=N] [--bound=B]
+//                   [--sweep=N] [--storms=N] [--bound=B] [--jobs=N]
 //       Run the wait-freedom certifier (crash sweep + crash storms) and
 //       report the per-process step bound.  All targets but `lock` must
-//       certify; `lock` must fail (blocking negative control).
+//       certify; `lock` must fail (blocking negative control).  --jobs
+//       parallelizes the sweep/storm schedules; the report is identical
+//       for any value.
+//
+//   rucosim check --target=<cas|tree|aac|uaac|lock> --k=<K>
+//                 [--bound=B] [--max-crashes=F] [--max-execs=N]
+//                 [--por] [--jobs=N] [--legacy]
+//       Explore interleavings of the target's writers+reader program with
+//       the model checker, verifying linearizability of every complete
+//       execution.  --por enables sleep-set partial-order reduction,
+//       --jobs=N parallel exploration, --legacy the original recursive
+//       engine (differential oracle).  Prints executions, node/replay
+//       counters, pruning counters, wall time and executions/sec.
 //
 // Exit code 0 iff every check performed passed.
 #include <cstdint>
@@ -42,6 +54,7 @@
 #include "ruco/lincheck/specs.h"
 #include "ruco/sim/certify.h"
 #include "ruco/sim/fault.h"
+#include "ruco/sim/model_checker.h"
 #include "ruco/sim/schedulers.h"
 #include "ruco/sim/system.h"
 #include "ruco/sim/trace_render.h"
@@ -273,6 +286,7 @@ int cmd_certify(const Args& args) {
   opts.step_bound = args.get_u64("bound", 0);
   opts.sweep_steps = args.get_u64("sweep", 16);
   opts.storm_seeds = args.get_u64("storms", 8);
+  opts.jobs = static_cast<std::uint32_t>(args.get_u64("jobs", 1));
   const auto report =
       ruco::sim::certify_wait_freedom(bundle.program, opts);
   std::cout << "wait-freedom certification: " << target << ", K = " << k
@@ -288,6 +302,60 @@ int cmd_certify(const Args& args) {
   return expected ? 0 : 1;
 }
 
+int cmd_check(const Args& args) {
+  const std::string target = args.get("target", "cas");
+  const auto k = static_cast<std::uint32_t>(args.get_u64("k", 3));
+  auto bundle = make_target(target, k);
+  ruco::sim::ModelCheckOptions opts;
+  opts.max_executions = args.get_u64("max-execs", 0);
+  if (args.has("bound")) {
+    opts.preemption_bound =
+        static_cast<std::uint32_t>(args.get_u64("bound", 0));
+  }
+  opts.max_crashes =
+      static_cast<std::uint32_t>(args.get_u64("max-crashes", 0));
+  opts.por = args.has("por");
+  opts.jobs = static_cast<std::uint32_t>(args.get_u64("jobs", 1));
+  if (args.has("legacy")) {
+    opts.engine = ruco::sim::ModelCheckOptions::Engine::kLegacyRecursive;
+  }
+  const auto verdict = [](const ruco::sim::System& sys) -> std::string {
+    const auto res = ruco::lincheck::check_linearizable(
+        ruco::lincheck::from_sim_history(sys.history()),
+        ruco::lincheck::MaxRegisterSpec{});
+    if (!res.decided) return "undecided";
+    return res.linearizable ? "" : "non-linearizable execution";
+  };
+  const auto result =
+      ruco::sim::model_check(bundle.program, verdict, opts);
+
+  std::cout << "model check: " << target << ", K = " << k
+            << (opts.por ? ", POR" : "") << ", jobs = " << opts.jobs
+            << (args.has("legacy") ? ", legacy engine" : "") << "\n";
+  ruco::Table t{{"executions", "nodes", "replayed steps", "sleep-pruned",
+                 "wall ms", "exec/s"}};
+  const double secs = result.stats.wall_ms / 1e3;
+  t.add(result.executions, result.stats.nodes, result.stats.replayed_steps,
+        result.stats.sleep_pruned,
+        static_cast<std::uint64_t>(result.stats.wall_ms),
+        secs > 0 ? static_cast<std::uint64_t>(
+                       static_cast<double>(result.executions) / secs)
+                 : 0);
+  t.print();
+  std::cout << "verdict: " << (result.ok ? "ok" : "FAIL")
+            << (result.exhaustive ? " (exhaustive)" : " (partial)")
+            << (result.stop == ruco::sim::StopReason::kBudget
+                    ? " [budget reached]"
+                    : "")
+            << "\n";
+  if (!result.ok) {
+    std::cout << result.message << "\n"
+              << ruco::sim::render_schedule(bundle.program,
+                                            result.counterexample);
+  }
+  return result.ok ? 0 : 1;
+}
+
 int usage() {
   std::cout << "usage:\n"
                "  rucosim adversary --target=<cas|tree|aac|uaac> --k=<K>"
@@ -300,7 +368,11 @@ int usage() {
                " [--crash-rate=PERMILLE] [--max-crashes=F]\n"
                "                    [--spurious=PERMILLE] [--fault-seed=S]\n"
                "  rucosim certify   --target=<cas|tree|aac|uaac|lock> --k=<K>"
-               " [--sweep=N] [--storms=N] [--bound=B]\n";
+               " [--sweep=N] [--storms=N] [--bound=B] [--jobs=N]\n"
+               "  rucosim check     --target=<cas|tree|aac|uaac|lock> --k=<K>"
+               " [--bound=B] [--max-crashes=F]\n"
+               "                    [--max-execs=N] [--por] [--jobs=N]"
+               " [--legacy]\n";
   return 2;
 }
 
@@ -313,6 +385,7 @@ int main(int argc, char** argv) {
     if (args.command == "starve") return cmd_starve(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "certify") return cmd_certify(args);
+    if (args.command == "check") return cmd_check(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
