@@ -6,8 +6,9 @@
 # Builds the benchmark targets in an optimized tree (default: ./build,
 # configured RelWithDebInfo if it does not exist yet), runs the full
 # model-checker benchmark, and writes BENCH_model_checker.json at the repo
-# root (plus a crash-storm JSON alongside it).  Pass --smoke through the
-# BENCH_SMOKE=1 environment variable for a fast CI-sized run.
+# root (plus crash-storm and hardware-throughput JSONs alongside it).  Pass
+# --smoke through the BENCH_SMOKE=1 environment variable for a fast
+# CI-sized run.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,12 +21,16 @@ fi
 if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
-cmake --build "$build_dir" --target bench_model_checker bench_crash_storm -j
+cmake --build "$build_dir" \
+    --target bench_model_checker bench_crash_storm bench_hw_throughput -j
 
 "$build_dir/bench/bench_model_checker" $smoke_flag \
     --json "$repo_root/BENCH_model_checker.json"
 "$build_dir/bench/bench_crash_storm" $smoke_flag \
     --json "$repo_root/BENCH_crash_storm.json"
+"$build_dir/bench/bench_hw_throughput" $smoke_flag \
+    --json "$repo_root/BENCH_throughput.json"
 
 echo "wrote $repo_root/BENCH_model_checker.json"
 echo "wrote $repo_root/BENCH_crash_storm.json"
+echo "wrote $repo_root/BENCH_throughput.json"

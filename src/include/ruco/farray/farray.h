@@ -50,6 +50,7 @@ class FArray {
   /// Sets slot `slot` (single writer per slot) and refreshes the path.
   /// O(log N) steps.
   void update(ProcId slot, Value v) {
+    telemetry::prod().farray_updates.inc();
     const auto leaf = shape_.leaf(slot);
     runtime::step_tick();
     values_[leaf].value.store(v);
@@ -58,6 +59,7 @@ class FArray {
 
   /// The aggregate over all slots.  One step.
   [[nodiscard]] Value read_aggregate(ProcId /*proc*/) const {
+    telemetry::prod().farray_reads.inc();
     runtime::step_tick();
     return values_[shape_.root()].value.load();
   }

@@ -14,11 +14,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "ruco/core/types.h"
 #include "ruco/runtime/padded.h"
 #include "ruco/runtime/stepcount.h"
+#include "ruco/telemetry/metrics.h"
 #include "ruco/util/tree_shape.h"
 
 namespace ruco::maxreg {
@@ -33,9 +35,14 @@ void propagate_twice(const Shape& shape,
                      std::vector<runtime::PaddedAtomic<T>>& values,
                      typename Shape::NodeId start, Combine&& combine) {
   using NodeId = typename Shape::NodeId;
+  // Batched telemetry: tally in locals, publish once per propagation so the
+  // per-level loop stays free of counter traffic.
+  std::uint64_t levels = 0;
+  std::uint64_t failures = 0;
   NodeId n = start;
   while (shape.parent(n) != Shape::kNil) {
     n = shape.parent(n);
+    ++levels;
     const NodeId l = shape.left(n);
     const NodeId r = shape.right(n);
     for (int attempt = 0; attempt < 2; ++attempt) {
@@ -47,8 +54,16 @@ void propagate_twice(const Shape& shape,
       const T rv = values[r].value.load();
       const T new_value = combine(lv, rv);
       runtime::step_tick();
-      values[n].value.compare_exchange_strong(old_value, new_value);
+      if (!values[n].value.compare_exchange_strong(old_value, new_value)) {
+        ++failures;
+      }
     }
+  }
+  if (levels != 0) {
+    const telemetry::ProdMetrics& tm = telemetry::prod();
+    tm.propagate_levels.add(levels);
+    tm.propagate_cas_attempts.add(levels * 2);  // two CAS per level, always
+    if (failures != 0) tm.propagate_cas_failures.add(failures);
   }
 }
 

@@ -23,12 +23,23 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "ruco/sim/fault.h"
 #include "ruco/sim/system.h"
 
 namespace ruco::sim {
+
+/// Heartbeat sample for long certification runs (rucosim certify
+/// --progress).  schedules_done counts completed fault schedules across all
+/// workers; schedules_total is fixed once the job list is built.
+struct CertifyProgress {
+  std::uint64_t schedules_done = 0;
+  std::uint64_t schedules_total = 0;
+  double wall_ms = 0.0;
+  double schedules_per_sec = 0.0;
+};
 
 struct WaitFreedomOptions {
   /// Per-process step bound the survivors must meet.  0 = auto-calibrate:
@@ -61,6 +72,12 @@ struct WaitFreedomOptions {
   /// ruco/sim/parallel.h, so the first failure, the schedule count and the
   /// worst-survivor aggregate match the sequential run.  1 = sequential.
   std::uint32_t jobs = 1;
+
+  /// Progress heartbeat: fires (serialized, from worker threads) every
+  /// `progress_interval` completed schedules.  Purely observational -- the
+  /// report is byte-identical with or without it.  Null = silent.
+  std::function<void(const CertifyProgress&)> on_progress;
+  std::uint64_t progress_interval = 64;
 };
 
 struct WaitFreedomReport {

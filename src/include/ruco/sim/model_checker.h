@@ -102,6 +102,36 @@ struct ModelCheckOptions {
   /// oracle for tests and benchmarks (it ignores por/jobs).
   enum class Engine : std::uint8_t { kIterative, kLegacyRecursive };
   Engine engine = Engine::kIterative;
+  /// Exploration telemetry hook (heartbeat); nullptr = zero overhead.
+  /// The pointed-to struct must outlive the model_check call.
+  const struct ModelCheckTelemetry* telemetry = nullptr;
+};
+
+/// A progress sample delivered to ModelCheckTelemetry::on_progress.
+/// `executions` and `wall_ms` are global (shared across workers);
+/// the remaining counters are the *calling worker's* local view -- exact
+/// with jobs == 1, a representative sample with jobs > 1.
+struct ModelCheckProgress {
+  std::uint64_t executions = 0;  // complete executions so far (global)
+  double wall_ms = 0.0;          // since model_check started
+  double executions_per_sec = 0.0;
+  std::uint64_t nodes = 0;
+  std::uint64_t sleep_pruned = 0;
+  std::uint64_t persistent_pruned = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t current_depth = 0;  // depth of the execution just completed
+};
+
+/// Periodic exploration heartbeat: on_progress fires (serialized under an
+/// internal mutex, from whichever worker completes the triggering
+/// execution) every `interval_executions` complete executions.  The hook
+/// adds one shared atomic increment per complete execution and nothing per
+/// node, so it does not perturb exploration determinism -- executions and
+/// prune counts are byte-identical with and without it (telemetry_test
+/// asserts this).
+struct ModelCheckTelemetry {
+  std::uint64_t interval_executions = 10'000;
+  std::function<void(const ModelCheckProgress&)> on_progress;
 };
 
 /// Schedules (and counterexamples) encode a crash of process p as
@@ -135,6 +165,17 @@ struct ModelCheckStats {
   bool por_effective = false;        // por requested AND applicable
   std::uint32_t jobs_used = 1;
   double wall_ms = 0.0;
+  /// Final-depth histogram over complete executions: bucket d counts
+  /// executions that ended after exactly d choices, d in [0, kDepthBuckets);
+  /// deeper ones land in the last (overflow) slot.  Size kDepthBuckets + 1
+  /// once any execution completed; deterministic whenever `executions` is
+  /// (the set of complete executions does not depend on worker timing).
+  static constexpr std::size_t kDepthBuckets = 64;
+  std::vector<std::uint64_t> depth_hist;
+  /// Execution-count balance across the explorer pool (one entry per
+  /// explorer; explorers map ~1:1 to worker threads).  Timing-dependent
+  /// with jobs > 1, by nature; {executions} with jobs == 1.
+  std::vector<std::uint64_t> worker_executions;
 };
 
 struct ModelCheckResult {

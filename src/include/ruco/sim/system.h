@@ -130,6 +130,15 @@ class Program {
   std::vector<std::vector<ObjectId>> footprints_;  // empty = undeclared
 };
 
+/// One scheduler decision, recorded (in order) when the decision log is
+/// enabled: which process was driven, and how.  Telemetry for rucosim and
+/// the trace exporters -- the model checker never enables it.
+struct SchedDecision {
+  enum class Kind : std::uint8_t { kStep, kCrash, kSpurious };
+  Kind kind = Kind::kStep;
+  ProcId proc = 0;
+};
+
 class System {
  public:
   /// `program` must outlive the System (reset() respawns from it).
@@ -243,6 +252,17 @@ class System {
   /// sets, recomputed exactly (O(processes + objects) set counts).
   [[nodiscard]] std::size_t max_knowledge() const;
 
+  /// Opt-in scheduler-decision log: when enabled, every successful step,
+  /// crash and spurious-CAS records a SchedDecision.  Off by default (and
+  /// cleared by reset()) so the model checker's hot path stays untouched.
+  void enable_decision_log(bool on) noexcept {
+    decision_log_enabled_ = on;
+  }
+  [[nodiscard]] const std::vector<SchedDecision>& decision_log()
+      const noexcept {
+    return decisions_;
+  }
+
   /// High-water mark of M over the whole run, maintained incrementally in
   /// O(1) per step.  Since knowledge sets only ever grow (familiarity
   /// retraction can shrink one object's set, but never above the mark),
@@ -312,6 +332,8 @@ class System {
   std::uint64_t clock_ = 0;  // advances on every step and annotation
   std::size_t knowledge_high_water_ = 1;  // every AW starts at {self}
   std::uint32_t crash_count_ = 0;
+  bool decision_log_enabled_ = false;
+  std::vector<SchedDecision> decisions_;
 
   friend struct PrimAwaiter;
 };

@@ -1,0 +1,81 @@
+// Simulator-side telemetry: contention accounting and Perfetto export for
+// recorded executions.
+//
+// Everything here is computed *offline* from a finished System's trace and
+// history, so the simulator's step loop (which the model checker drives
+// millions of times) pays nothing for it.
+//
+//   * contention_report -- per-object read/write/CAS-fail counts and
+//     per-process step/op counts, the simulator analogue of the hardware
+//     registry's maxreg/mcas counters.  This is the paper's currency:
+//     shared-memory events per object and per process.
+//   * sim_timeline -- renders a System's execution as a Perfetto trace:
+//     one track per process, ts = global step index, crash and spurious-CAS
+//     instants, and awareness flow arrows (process q's first event aware of
+//     process p, computed by first_aware_index -- the same cut points
+//     Theorem 1's erasure uses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ruco/sim/system.h"
+#include "ruco/telemetry/timeline.h"
+
+namespace ruco::telemetry {
+
+struct ObjectContention {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t cas_ok = 0;
+  std::uint64_t cas_fail = 0;  // includes spurious failures
+  std::uint64_t spurious = 0;
+  std::uint64_t kcas = 0;  // k-CAS events whose first word targets this obj
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return reads + writes + cas_ok + cas_fail + kcas;
+  }
+};
+
+struct ProcContention {
+  std::uint64_t steps = 0;
+  std::uint64_t ops_invoked = 0;
+  std::uint64_t ops_returned = 0;
+  std::uint64_t cas_fail = 0;
+  bool crashed = false;
+};
+
+struct ContentionReport {
+  std::vector<ObjectContention> objects;  // indexed by ObjectId
+  std::vector<ProcContention> procs;      // indexed by ProcId
+  std::uint64_t total_steps = 0;
+
+  /// Steps per completed operation, the simulator's throughput-cost metric
+  /// (0 when no operation returned).
+  [[nodiscard]] double steps_per_op() const noexcept;
+  /// Failed fraction of all single-word CAS events (0 when none issued).
+  [[nodiscard]] double cas_fail_rate() const noexcept;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Accounts a finished (or paused) System's trace and history.
+[[nodiscard]] ContentionReport contention_report(const sim::System& sys);
+
+/// Options for sim_timeline.  Awareness edges cost one first_aware_index
+/// pass per process (O(processes * trace)), so they can be switched off for
+/// very long traces.
+struct SimTimelineOptions {
+  bool awareness_edges = true;
+};
+
+/// Renders the execution recorded in `sys` into `out` as one Perfetto
+/// process ("simulator", pid 0) with one thread track per simulated
+/// process; ts = global trace index in microseconds-as-steps.  Adds crash
+/// instants (after the crashed process's last step), spurious-CAS instants,
+/// and awareness flow arrows.
+void sim_timeline(const sim::System& sys, TimelineWriter& out,
+                  const SimTimelineOptions& opts = {});
+
+}  // namespace ruco::telemetry

@@ -1,0 +1,133 @@
+// Chrome-trace-event / Perfetto JSON timeline writer.
+//
+// Emits the JSON object form of the Trace Event Format
+// ({"traceEvents":[...]}), which both chrome://tracing and ui.perfetto.dev
+// load directly.  Used to render simulator traces (one track per process,
+// ts = shared-memory step index) and hardware-harness runs (one track per
+// thread, ts = microseconds) -- see ruco/telemetry/sim_export.h and
+// bench/bench_hw_throughput.cpp.
+//
+// Only the event phases ruco needs are supported:
+//   B/E  nested duration slices        X  complete slice (ts + dur)
+//   i    instant marker                s/f  flow edge (arrow between tracks)
+//   M    metadata (process/thread names), emitted from the name setters
+//
+// validate() structurally checks what the acceptance tests rely on: every
+// referenced track is named, timestamps are monotone per track, and B/E
+// pairs nest and match.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ruco::telemetry {
+
+/// Builder for one trace file.  Not thread-safe: collect per-thread events
+/// first (e.g. OpRecorder lanes), then serialize from one thread.
+class TimelineWriter {
+ public:
+  /// Metadata: names shown on the track list in the viewer.
+  void set_process_name(std::uint32_t pid, std::string_view name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       std::string_view name);
+
+  /// Nested duration slice (ph=B ... ph=E).
+  void begin(std::uint32_t pid, std::uint32_t tid, std::string_view name,
+             std::uint64_t ts_us, std::string_view args_json = {});
+  void end(std::uint32_t pid, std::uint32_t tid, std::uint64_t ts_us);
+
+  /// Complete slice (ph=X): one event carrying its own duration.
+  void complete(std::uint32_t pid, std::uint32_t tid, std::string_view name,
+                std::uint64_t ts_us, std::uint64_t dur_us,
+                std::string_view args_json = {});
+
+  /// Instant marker (ph=i, thread scope).
+  void instant(std::uint32_t pid, std::uint32_t tid, std::string_view name,
+               std::uint64_t ts_us, std::string_view args_json = {});
+
+  /// Flow edge: an arrow from (flow_start) to (flow_end) with a shared id.
+  void flow_start(std::uint32_t pid, std::uint32_t tid, std::string_view name,
+                  std::uint64_t ts_us, std::uint64_t flow_id);
+  void flow_end(std::uint32_t pid, std::uint32_t tid, std::string_view name,
+                std::uint64_t ts_us, std::uint64_t flow_id);
+
+  [[nodiscard]] std::size_t num_events() const { return events_.size(); }
+
+  /// Serializes {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string json() const;
+
+  /// json() to a file; returns false on I/O error.
+  bool write_file(const std::string& path) const;
+
+  /// Structural validation of the event stream:
+  ///   * every (pid, tid) with slice/instant events has a thread name and
+  ///     its pid a process name (so the viewer shows one labeled track per
+  ///     process/thread),
+  ///   * per-track timestamps are monotone non-decreasing,
+  ///   * B/E events nest properly and every B is closed.
+  /// Returns an empty string when valid, else a description of the first
+  /// violation.  Unit tests assert validate().empty().
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  struct Event {
+    char phase = 'X';  // B E X i s f
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;      // X only
+    std::uint64_t flow_id = 0;  // s/f only
+    std::string name;
+    std::string args_json;  // pre-rendered {"k":v} or empty
+  };
+  struct TrackName {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;  // unused for process names
+    bool is_process = false;
+    std::string name;
+  };
+
+  std::vector<Event> events_;
+  std::vector<TrackName> names_;
+};
+
+/// Per-thread op-slice recorder for hardware-harness runs.  Each thread
+/// writes only its own pre-sized lane (no synchronization, no allocation
+/// after reserve), so recording costs two steady_clock reads and a
+/// vector push.  After the run, export_to() renders one named track per
+/// thread into a TimelineWriter.
+class OpRecorder {
+ public:
+  /// `capacity_per_thread` bounds recorded ops per lane; later ops are
+  /// counted but dropped (bench traces only need a representative window).
+  OpRecorder(std::uint32_t num_threads, std::size_t capacity_per_thread);
+
+  /// Interns an op name; call once per op kind before the timed region.
+  [[nodiscard]] std::uint32_t intern(std::string_view name);
+
+  /// Records one op slice on `thread`'s lane.  Thread-safe across distinct
+  /// threads, wait-free, never allocates.
+  void record(std::uint32_t thread, std::uint32_t name_id,
+              std::uint64_t start_us, std::uint64_t dur_us) noexcept;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// One track per thread (pid fixed, tid = thread index), slices sorted
+  /// by start within each lane (they already are: one writer per lane).
+  void export_to(TimelineWriter& out, std::uint32_t pid,
+                 std::string_view process_name) const;
+
+ private:
+  struct Slice {
+    std::uint32_t name_id = 0;
+    std::uint64_t start_us = 0;
+    std::uint64_t dur_us = 0;
+  };
+  std::vector<std::vector<Slice>> lanes_;
+  std::vector<std::uint64_t> dropped_per_lane_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ruco::telemetry

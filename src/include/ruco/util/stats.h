@@ -31,6 +31,10 @@ class Summary {
 
 /// Exact percentile support: keeps all samples.  Intended for step-count
 /// series (tens of thousands of small integers), not nanosecond timings.
+/// All accessors are total: on an empty series min/max/percentile return 0
+/// and mean returns 0.0, so report-generation code never has to guard a
+/// metric that happened to record nothing (an empty series used to throw,
+/// which turned a missing data point into a crashed benchmark run).
 class Samples {
  public:
   void add(std::uint64_t x) { values_.push_back(x); }
@@ -38,9 +42,9 @@ class Samples {
 
   [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
   [[nodiscard]] double mean() const noexcept;
-  [[nodiscard]] std::uint64_t min() const;
-  [[nodiscard]] std::uint64_t max() const;
-  /// p in [0, 100]; nearest-rank percentile.  Sorts lazily.
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  /// p in [0, 100] (clamped); nearest-rank percentile.  Sorts lazily.
   [[nodiscard]] std::uint64_t percentile(double p);
 
  private:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ruco/runtime/stepcount.h"
+#include "ruco/telemetry/metrics.h"
 
 namespace ruco::kcas {
 
@@ -49,6 +50,7 @@ McasArray::Word McasArray::rdcss(RdcssDescriptor* d) {
     }
     if (is_rdcss(current)) {
       // Someone else's acquisition is parked here: finish it and retry.
+      telemetry::prod().mcas_rdcss_helps.inc();
       rdcss_complete(as_rdcss(current));
       continue;
     }
@@ -77,12 +79,14 @@ bool McasArray::mcas_help(ProcId proc, McasDescriptor* d) {
         if (is_mcas(content)) {
           if (as_mcas(content) != d) {
             // A different MCAS holds the word: help it finish, then retry.
+            telemetry::prod().mcas_helps.inc();
             mcas_help(proc, as_mcas(content));
             continue;
           }
           break;  // already acquired for d (by a helper)
         }
         if (content != pack_value(word.expected)) {
+          telemetry::prod().mcas_cas_failures.inc();
           desired_status = static_cast<std::uintptr_t>(Status::kFailed);
         }
         break;
@@ -116,10 +120,12 @@ Value McasArray::read(ProcId proc, std::uint32_t index) {
     runtime::step_tick();
     const Word w = cells_[index].value.load();
     if (is_rdcss(w)) {
+      telemetry::prod().mcas_rdcss_helps.inc();
       rdcss_complete(as_rdcss(w));
       continue;
     }
     if (is_mcas(w)) {
+      telemetry::prod().mcas_helps.inc();
       mcas_help(proc, as_mcas(w));
       continue;
     }
@@ -143,6 +149,7 @@ bool McasArray::mcas(ProcId proc, std::vector<McasWord> words) {
     (void)pack_value(words[i].expected);  // range checks, loud
     (void)pack_value(words[i].desired);
   }
+  telemetry::prod().mcas_ops.inc();
   McasDescriptor* d = &arenas_[proc].mcas.emplace_back();
   d->words = std::move(words);
   return mcas_help(proc, d);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ruco/runtime/stepcount.h"
+#include "ruco/telemetry/metrics.h"
 #include "ruco/util/bits.h"
 
 namespace ruco::maxreg {
@@ -51,7 +52,10 @@ void AacMaxRegister::write_max(ProcId /*proc*/, Value v) {
   for (std::uint32_t d = 0; d < levels_; ++d, half >>= 1) {
     if (rest < half) {
       runtime::step_tick();
-      if (switches_[node].load() != 0) break;  // abandon: dominated
+      if (switches_[node].load() != 0) {  // abandon: dominated
+        telemetry::prod().aac_write_abandons.inc();
+        break;
+      }
       node = 2 * node;
     } else {
       right_turns[num_right_turns++] = node;
@@ -65,6 +69,7 @@ void AacMaxRegister::write_max(ProcId /*proc*/, Value v) {
   for (std::size_t i = num_right_turns; i-- > 0;) {
     runtime::step_tick();
     switches_[right_turns[i]].store(1);
+    telemetry::prod().aac_switches_set.inc();
   }
   runtime::step_tick();
   any_write_.store(1);

@@ -1,8 +1,10 @@
 #include "ruco/maxreg/cas_max_register.h"
 
 #include <cassert>
+#include <cstdint>
 
 #include "ruco/runtime/stepcount.h"
+#include "ruco/telemetry/metrics.h"
 
 namespace ruco::maxreg {
 
@@ -15,10 +17,24 @@ void CasMaxRegister::write_max(ProcId /*proc*/, Value v) {
   assert(v >= 0);
   runtime::step_tick();
   Value current = cell_.value.load();
+  // Batched telemetry: tally the CAS loop in locals and publish once, so a
+  // contended retry burst costs one counter write, not one per attempt.
+  std::uint64_t attempts = 0;
+  bool won = false;
   while (current < v) {
     runtime::step_tick();
-    if (cell_.value.compare_exchange_weak(current, v)) return;
+    ++attempts;
+    if (cell_.value.compare_exchange_weak(current, v)) {
+      won = true;
+      break;
+    }
     // compare_exchange reloads `current` on failure; loop re-tests.
+  }
+  if (attempts != 0) {
+    const telemetry::ProdMetrics& tm = telemetry::prod();
+    tm.maxreg_cas_attempts.add(attempts);
+    const std::uint64_t lost = attempts - (won ? 1 : 0);
+    if (lost != 0) tm.maxreg_cas_failures.add(lost);
   }
 }
 

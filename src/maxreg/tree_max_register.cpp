@@ -5,6 +5,7 @@
 
 #include "ruco/maxreg/propagate.h"
 #include "ruco/runtime/stepcount.h"
+#include "ruco/telemetry/metrics.h"
 
 namespace ruco::maxreg {
 
@@ -31,6 +32,7 @@ void TreeMaxRegister::write_max(ProcId proc, Value v) {
   const auto leaf = v < shape_.num_processes()
                         ? shape_.value_leaf(static_cast<std::uint64_t>(v))
                         : shape_.process_leaf(proc);
+  telemetry::prod().tree_descent_depth.record(shape_.depth(leaf));
   runtime::step_tick();
   const Value old_value = values_[leaf].value.load();
   if (v <= old_value) {
@@ -38,6 +40,7 @@ void TreeMaxRegister::write_max(ProcId proc, Value v) {
     // code returns here; without helping, the other write may not have
     // propagated yet and this (completed) operation could be missed by a
     // subsequent ReadMax.
+    telemetry::prod().tree_duplicate_writes.inc();
     if (mode_ == Faithfulness::kHelpOnDuplicate) {
       propagate_twice(shape_, values_, leaf, combine_max);
     }

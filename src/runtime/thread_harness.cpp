@@ -1,15 +1,51 @@
 #include "ruco/runtime/thread_harness.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
+#include "ruco/telemetry/metrics.h"
+
 namespace ruco::runtime {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-phase accounting: spawn/barrier setup vs. time inside the
+/// post-barrier body (approximated by the longest worker, which is what
+/// bounds the run).  Telemetry only -- the harness semantics are untouched.
+struct HarnessTiming {
+  explicit HarnessTiming(std::size_t count) : start_us(now_us()) {
+    const auto& tm = telemetry::prod();
+    tm.harness_runs.inc();
+    tm.harness_threads.add(count);
+  }
+  void body_started() { body_start_us = now_us(); }
+  ~HarnessTiming() {
+    const std::uint64_t end = now_us();
+    const auto& tm = telemetry::prod();
+    tm.harness_wall_us.add(end - start_us);
+    if (body_start_us != 0) tm.harness_body_us.add(end - body_start_us);
+  }
+  std::uint64_t start_us = 0;
+  std::uint64_t body_start_us = 0;
+};
+
+}  // namespace
 
 void run_threads(std::size_t count,
                  const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  HarnessTiming timing{count};
   if (count == 1) {
+    timing.body_started();
     body(0);
     return;
   }
@@ -17,8 +53,9 @@ void run_threads(std::size_t count,
   std::vector<std::thread> threads;
   threads.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    threads.emplace_back([&barrier, &body, i] {
+    threads.emplace_back([&barrier, &body, &timing, i] {
       barrier.arrive_and_wait();
+      if (i == 0) timing.body_started();
       body(i);
     });
   }
@@ -34,6 +71,7 @@ RunThreadsResult run_threads(std::size_t count,
     return result;
   }
   if (count == 0) return result;
+  HarnessTiming timing{count};
   // Workers flag completion individually so the watchdog can name exactly
   // which thread is stuck, not just that some thread is.
   const auto finished_flags =
@@ -46,6 +84,7 @@ RunThreadsResult run_threads(std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     threads.emplace_back([&, i] {
       barrier.arrive_and_wait();
+      if (i == 0) timing.body_started();
       body(i);
       finished_flags[i].store(true, std::memory_order_release);
       finished.fetch_add(1, std::memory_order_acq_rel);

@@ -1,6 +1,9 @@
 #include "ruco/sim/certify.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -129,6 +132,11 @@ WaitFreedomReport certify_wait_freedom(const Program& program,
     std::uint64_t worst = 0;
   };
   std::vector<JobResult> results(jobs.size());
+  // Heartbeat plumbing: one relaxed increment per schedule when requested,
+  // serialized callback, nothing when on_progress is null.
+  std::atomic<std::uint64_t> done{0};
+  std::mutex progress_mu;
+  const auto t0 = std::chrono::steady_clock::now();
   run_ordered_jobs(jobs.size(), options.jobs, [&](std::size_t i) {
     const CrashJob& job = jobs[i];
     System sys{program};
@@ -141,6 +149,25 @@ WaitFreedomReport certify_wait_freedom(const Program& program,
     record_survivors(sys, &r.worst);
     r.passed = r.diag.empty();
     r.ran = true;
+    if (options.on_progress) {
+      const std::uint64_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      const std::uint64_t interval =
+          std::max<std::uint64_t>(1, options.progress_interval);
+      if (d % interval == 0 || d == jobs.size()) {
+        CertifyProgress prog;
+        prog.schedules_done = d;
+        prog.schedules_total = jobs.size();
+        prog.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        prog.schedules_per_sec =
+            prog.wall_ms > 0.0
+                ? static_cast<double>(d) * 1e3 / prog.wall_ms
+                : 0.0;
+        std::lock_guard<std::mutex> lk{progress_mu};
+        options.on_progress(prog);
+      }
+    }
     return r.passed;
   });
 

@@ -28,6 +28,57 @@ void apply_choice(System& sys, ProcId choice) {
 }
 
 // ---------------------------------------------------------------------------
+// Exploration telemetry (ModelCheckOptions::telemetry).
+// ---------------------------------------------------------------------------
+
+/// Shared heartbeat state: one atomic increment per complete execution when
+/// the hook is installed, nothing at all when it is not.  Exploration order
+/// and prune decisions never read it, so counters that must be
+/// deterministic stay so.
+struct TelemetryShared {
+  const ModelCheckTelemetry* hook = nullptr;
+  std::atomic<std::uint64_t> executions{0};
+  std::mutex mu;  // serializes on_progress across workers
+  std::chrono::steady_clock::time_point t0;
+};
+
+void record_depth(ModelCheckStats& stats, std::size_t depth) {
+  if (stats.depth_hist.empty()) {
+    stats.depth_hist.assign(ModelCheckStats::kDepthBuckets + 1, 0);
+  }
+  ++stats.depth_hist[std::min(depth, ModelCheckStats::kDepthBuckets)];
+}
+
+/// Called once per complete execution by whichever engine/worker produced
+/// it; fires on_progress every interval_executions completions.
+void telemetry_note_execution(TelemetryShared* tel,
+                              const ModelCheckStats& local,
+                              std::size_t depth) {
+  if (tel == nullptr || tel->hook == nullptr) return;
+  const std::uint64_t global =
+      tel->executions.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t interval = tel->hook->interval_executions;
+  if (interval == 0 || global % interval != 0 || !tel->hook->on_progress) {
+    return;
+  }
+  ModelCheckProgress prog;
+  prog.executions = global;
+  prog.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - tel->t0)
+                     .count();
+  prog.executions_per_sec =
+      prog.wall_ms > 0.0 ? static_cast<double>(global) * 1e3 / prog.wall_ms
+                         : 0.0;
+  prog.nodes = local.nodes;
+  prog.sleep_pruned = local.sleep_pruned;
+  prog.persistent_pruned = local.persistent_pruned;
+  prog.replays = local.replays;
+  prog.current_depth = depth;
+  std::lock_guard<std::mutex> lk{tel->mu};
+  tel->hook->on_progress(prog);
+}
+
+// ---------------------------------------------------------------------------
 // Independence relation (docs/MODEL.md, "Independence and the history").
 // ---------------------------------------------------------------------------
 
@@ -209,8 +260,15 @@ struct LocalResult {
 // ---------------------------------------------------------------------------
 class SubtreeExplorer {
  public:
-  SubtreeExplorer(const EngineConfig& cfg, std::atomic<std::uint64_t>* budget)
-      : cfg_{cfg}, budget_{budget}, sys_{cfg.program} {}
+  SubtreeExplorer(const EngineConfig& cfg, std::atomic<std::uint64_t>* budget,
+                  TelemetryShared* tel)
+      : cfg_{cfg}, budget_{budget}, tel_{tel}, sys_{cfg.program} {}
+
+  /// Complete executions produced by this explorer over its lifetime
+  /// (across every subtree it ran) -- the per-worker balance statistic.
+  [[nodiscard]] std::uint64_t lifetime_executions() const noexcept {
+    return lifetime_executions_;
+  }
 
   LocalResult run(const SubtreeRoot& root) {
     res_ = LocalResult{};
@@ -303,6 +361,9 @@ class SubtreeExplorer {
     }
     if (leaf) {
       ++res_.executions;
+      ++lifetime_executions_;
+      record_depth(res_.stats, base_->size() + path_.size());
+      telemetry_note_execution(tel_, res_.stats, base_->size() + path_.size());
       std::string diag = cfg_.verdict(sys_);
       if (!diag.empty()) {
         fail(std::move(diag));
@@ -350,6 +411,8 @@ class SubtreeExplorer {
 
   const EngineConfig& cfg_;
   std::atomic<std::uint64_t>* budget_;
+  TelemetryShared* tel_ = nullptr;
+  std::uint64_t lifetime_executions_ = 0;
   System sys_;
   LocalResult res_;
   const std::vector<ProcId>* base_ = nullptr;
@@ -435,6 +498,14 @@ void accumulate(ModelCheckStats& into, const ModelCheckStats& from) {
   into.replayed_steps += from.replayed_steps;
   into.sleep_pruned += from.sleep_pruned;
   into.persistent_pruned += from.persistent_pruned;
+  if (!from.depth_hist.empty()) {
+    if (into.depth_hist.empty()) {
+      into.depth_hist.assign(ModelCheckStats::kDepthBuckets + 1, 0);
+    }
+    for (std::size_t i = 0; i < from.depth_hist.size(); ++i) {
+      into.depth_hist[i] += from.depth_hist[i];
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -445,6 +516,7 @@ struct LegacyDfs {
   const Program& program;
   const Verdict& verdict;
   const ModelCheckOptions& options;
+  TelemetryShared* tel;
   ModelCheckResult result;
   std::vector<ProcId> prefix;
 
@@ -471,6 +543,8 @@ struct LegacyDfs {
     }
     if (ready.empty()) {
       ++result.executions;
+      record_depth(result.stats, prefix.size());
+      telemetry_note_execution(tel, result.stats, prefix.size());
       std::string diag = verdict(sys);
       if (!diag.empty()) {
         result.stop = StopReason::kCounterexample;
@@ -519,6 +593,9 @@ struct LegacyDfs {
 ModelCheckResult model_check(const Program& program, const Verdict& verdict,
                              const ModelCheckOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
+  TelemetryShared tel;
+  tel.hook = options.telemetry;
+  tel.t0 = t0;
   const bool por_effective =
       options.por &&
       options.preemption_bound == ModelCheckOptions::kUnbounded &&
@@ -526,10 +603,11 @@ ModelCheckResult model_check(const Program& program, const Verdict& verdict,
   ModelCheckResult result;
 
   if (options.engine == ModelCheckOptions::Engine::kLegacyRecursive) {
-    LegacyDfs dfs{program, verdict, options, ModelCheckResult{}, {}};
+    LegacyDfs dfs{program, verdict, options, &tel, ModelCheckResult{}, {}};
     dfs.explore(options.preemption_bound, options.max_crashes);
     result = std::move(dfs.result);
     result.stats.jobs_used = 1;
+    result.stats.worker_executions = {result.executions};
   } else {
     EngineConfig cfg{program, verdict, options, por_effective, false, {}};
     const std::size_t n = program.num_processes();
@@ -558,15 +636,16 @@ ModelCheckResult model_check(const Program& program, const Verdict& verdict,
     std::atomic<std::uint64_t> budget{0};
     const std::uint32_t jobs = std::max<std::uint32_t>(1, options.jobs);
     if (jobs == 1) {
-      SubtreeExplorer explorer{cfg, &budget};
+      SubtreeExplorer explorer{cfg, &budget, &tel};
       LocalResult lr = explorer.run(SubtreeRoot{
           {}, {}, options.preemption_bound, options.max_crashes});
       result.stop = lr.stop;
       result.executions = lr.executions;
       result.counterexample = std::move(lr.counterexample);
       result.message = std::move(lr.message);
-      result.stats = lr.stats;
+      result.stats = std::move(lr.stats);
       result.stats.jobs_used = 1;
+      result.stats.worker_executions = {result.executions};
     } else {
       ModelCheckStats frontier_stats;
       const std::uint32_t depth_cap =
@@ -587,7 +666,7 @@ ModelCheckResult model_check(const Program& program, const Verdict& verdict,
           }
         }
         if (!explorer) {
-          explorer = std::make_unique<SubtreeExplorer>(cfg, &budget);
+          explorer = std::make_unique<SubtreeExplorer>(cfg, &budget, &tel);
         }
         locals[i] = explorer->run(roots[i]);
         ran[i] = 1;
@@ -633,6 +712,11 @@ ModelCheckResult model_check(const Program& program, const Verdict& verdict,
       }
       result.stats.frontier_roots = roots.size();
       result.stats.jobs_used = jobs;
+      // pool holds every explorer back after the join; each maps ~1:1 to a
+      // worker thread, so its lifetime execution count is the balance.
+      for (const auto& e : pool) {
+        result.stats.worker_executions.push_back(e->lifetime_executions());
+      }
     }
   }
 

@@ -98,6 +98,7 @@ void System::reset() {
   }
   trace_.clear();
   history_.clear();
+  decisions_.clear();
   clock_ = 0;
   knowledge_high_water_ = 1;
   crash_count_ = 0;
@@ -176,6 +177,9 @@ Value System::result(ProcId p) const {
 bool System::crash(ProcId p) {
   ProcState& ps = procs_[p];
   if (!ps.has_pending) return false;
+  if (decision_log_enabled_) {
+    decisions_.push_back({SchedDecision::Kind::kCrash, p});
+  }
   // Discard a buffered invoke: in the model an operation's interval begins
   // at its first shared-memory event, so an operation that never stepped
   // never started -- it must not appear in the history even as pending.
@@ -194,6 +198,9 @@ bool System::crash(ProcId p) {
 bool System::step_spurious(ProcId p) {
   ProcState& ps = procs_[p];
   if (!ps.has_pending || ps.pending.prim != Prim::kCas) return false;
+  if (decision_log_enabled_) {
+    decisions_.push_back({SchedDecision::Kind::kSpurious, p});
+  }
   flush_invoke(p);
   const Pending pending = ps.pending;
   ps.has_pending = false;
@@ -232,6 +239,9 @@ bool System::step_spurious(ProcId p) {
 bool System::step(ProcId p) {
   ProcState& ps = procs_[p];
   if (!ps.has_pending) return false;
+  if (decision_log_enabled_) {
+    decisions_.push_back({SchedDecision::Kind::kStep, p});
+  }
   flush_invoke(p);  // the operation's interval begins at its first step
   const Pending pending = ps.pending;
   ps.has_pending = false;

@@ -1,0 +1,228 @@
+#include "ruco/telemetry/timeline.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace ruco::telemetry {
+
+namespace {
+
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c; break;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void TimelineWriter::set_process_name(std::uint32_t pid,
+                                      std::string_view name) {
+  names_.push_back({pid, 0, true, std::string(name)});
+}
+
+void TimelineWriter::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                     std::string_view name) {
+  names_.push_back({pid, tid, false, std::string(name)});
+}
+
+void TimelineWriter::begin(std::uint32_t pid, std::uint32_t tid,
+                           std::string_view name, std::uint64_t ts_us,
+                           std::string_view args_json) {
+  events_.push_back({'B', pid, tid, ts_us, 0, 0, std::string(name),
+                     std::string(args_json)});
+}
+
+void TimelineWriter::end(std::uint32_t pid, std::uint32_t tid,
+                         std::uint64_t ts_us) {
+  events_.push_back({'E', pid, tid, ts_us, 0, 0, std::string(), std::string()});
+}
+
+void TimelineWriter::complete(std::uint32_t pid, std::uint32_t tid,
+                              std::string_view name, std::uint64_t ts_us,
+                              std::uint64_t dur_us,
+                              std::string_view args_json) {
+  events_.push_back({'X', pid, tid, ts_us, dur_us, 0, std::string(name),
+                     std::string(args_json)});
+}
+
+void TimelineWriter::instant(std::uint32_t pid, std::uint32_t tid,
+                             std::string_view name, std::uint64_t ts_us,
+                             std::string_view args_json) {
+  events_.push_back({'i', pid, tid, ts_us, 0, 0, std::string(name),
+                     std::string(args_json)});
+}
+
+void TimelineWriter::flow_start(std::uint32_t pid, std::uint32_t tid,
+                                std::string_view name, std::uint64_t ts_us,
+                                std::uint64_t flow_id) {
+  events_.push_back(
+      {'s', pid, tid, ts_us, 0, flow_id, std::string(name), std::string()});
+}
+
+void TimelineWriter::flow_end(std::uint32_t pid, std::uint32_t tid,
+                              std::string_view name, std::uint64_t ts_us,
+                              std::uint64_t flow_id) {
+  events_.push_back(
+      {'f', pid, tid, ts_us, 0, flow_id, std::string(name), std::string()});
+}
+
+std::string TimelineWriter::json() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TrackName& n : names_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":" << n.pid << ",\"tid\":" << n.tid
+        << ",\"name\":"
+        << (n.is_process ? "\"process_name\"" : "\"thread_name\"")
+        << ",\"args\":{\"name\":";
+    append_json_string(out, n.name);
+    out << "}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"" << e.phase << "\",\"pid\":" << e.pid
+        << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts;
+    if (e.phase == 'X') out << ",\"dur\":" << e.dur;
+    if (e.phase == 'i') out << ",\"s\":\"t\"";
+    if (e.phase == 's' || e.phase == 'f') {
+      out << ",\"id\":" << e.flow_id << ",\"cat\":\"flow\"";
+      if (e.phase == 'f') out << ",\"bp\":\"e\"";
+    }
+    if (!e.name.empty() || e.phase != 'E') {
+      out << ",\"name\":";
+      append_json_string(out, e.name);
+    }
+    if (e.phase != 's' && e.phase != 'f' && e.phase != 'E') {
+      out << ",\"cat\":\"ruco\"";
+    }
+    if (!e.args_json.empty()) out << ",\"args\":" << e.args_json;
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool TimelineWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json() << '\n';
+  return static_cast<bool>(out);
+}
+
+std::string TimelineWriter::validate() const {
+  struct TrackState {
+    std::uint64_t last_ts = 0;
+    bool seen = false;
+    int open_slices = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TrackState> tracks;
+  std::map<std::uint32_t, bool> process_named;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, bool> thread_named;
+  for (const TrackName& n : names_) {
+    if (n.is_process) {
+      process_named[n.pid] = true;
+    } else {
+      thread_named[{n.pid, n.tid}] = true;
+    }
+  }
+  std::ostringstream err;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    // Flow endpoints connect tracks at arbitrary points; they are excluded
+    // from per-track ordering and naming requirements (the viewer binds
+    // them to the enclosing slice, not to the track timeline).
+    if (e.phase == 's' || e.phase == 'f') continue;
+    TrackState& t = tracks[{e.pid, e.tid}];
+    if (t.seen && e.ts < t.last_ts) {
+      err << "event " << i << " (" << e.phase << " '" << e.name
+          << "'): ts " << e.ts << " < previous " << t.last_ts
+          << " on track pid=" << e.pid << " tid=" << e.tid;
+      return err.str();
+    }
+    t.seen = true;
+    t.last_ts = e.ts;
+    if (e.phase == 'B') {
+      ++t.open_slices;
+    } else if (e.phase == 'E') {
+      if (t.open_slices == 0) {
+        err << "event " << i << ": E without matching B on track pid="
+            << e.pid << " tid=" << e.tid;
+        return err.str();
+      }
+      --t.open_slices;
+    }
+    if (!process_named.count(e.pid)) {
+      err << "event " << i << ": pid " << e.pid << " has no process_name";
+      return err.str();
+    }
+    if (!thread_named.count({e.pid, e.tid})) {
+      err << "event " << i << ": track pid=" << e.pid << " tid=" << e.tid
+          << " has no thread_name";
+      return err.str();
+    }
+  }
+  for (const auto& [key, t] : tracks) {
+    if (t.open_slices != 0) {
+      err << "track pid=" << key.first << " tid=" << key.second << " has "
+          << t.open_slices << " unclosed B slice(s)";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+OpRecorder::OpRecorder(std::uint32_t num_threads,
+                       std::size_t capacity_per_thread)
+    : lanes_(num_threads), dropped_per_lane_(num_threads, 0) {
+  for (auto& lane : lanes_) lane.reserve(capacity_per_thread);
+}
+
+std::uint32_t OpRecorder::intern(std::string_view name) {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void OpRecorder::record(std::uint32_t thread, std::uint32_t name_id,
+                        std::uint64_t start_us,
+                        std::uint64_t dur_us) noexcept {
+  auto& lane = lanes_[thread];
+  if (lane.size() == lane.capacity()) {
+    ++dropped_per_lane_[thread];
+    return;
+  }
+  lane.push_back({name_id, start_us, dur_us});
+}
+
+std::uint64_t OpRecorder::dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t d : dropped_per_lane_) total += d;
+  return total;
+}
+
+void OpRecorder::export_to(TimelineWriter& out, std::uint32_t pid,
+                           std::string_view process_name) const {
+  out.set_process_name(pid, process_name);
+  for (std::uint32_t t = 0; t < lanes_.size(); ++t) {
+    out.set_thread_name(pid, t, "thread " + std::to_string(t));
+    for (const Slice& s : lanes_[t]) {
+      out.complete(pid, t, names_[s.name_id], s.start_us, s.dur_us);
+    }
+  }
+}
+
+}  // namespace ruco::telemetry

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
 
 namespace ruco::util {
 
@@ -28,18 +27,18 @@ double Samples::mean() const noexcept {
   return sum / static_cast<double>(values_.size());
 }
 
-std::uint64_t Samples::min() const {
-  if (values_.empty()) throw std::logic_error{"Samples::min: empty"};
+std::uint64_t Samples::min() const noexcept {
+  if (values_.empty()) return 0;
   return *std::min_element(values_.begin(), values_.end());
 }
 
-std::uint64_t Samples::max() const {
-  if (values_.empty()) throw std::logic_error{"Samples::max: empty"};
+std::uint64_t Samples::max() const noexcept {
+  if (values_.empty()) return 0;
   return *std::max_element(values_.begin(), values_.end());
 }
 
 std::uint64_t Samples::percentile(double p) {
-  if (values_.empty()) throw std::logic_error{"Samples::percentile: empty"};
+  if (values_.empty()) return 0;
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;

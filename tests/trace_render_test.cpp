@@ -59,6 +59,42 @@ TEST(TraceRender, TruncatesAtLimit) {
   EXPECT_NE(out.find("(7 more)"), std::string::npos);
 }
 
+TEST(TraceRender, MarkTrivialOffDropsTheDot) {
+  Program prog;
+  const ObjectId o = prog.add_object(5);
+  prog.add_process([o](Ctx& ctx) { return writer(ctx, o, 5); });  // trivial
+  System sys{prog};
+  sys.step(0);
+  TraceRenderOptions options;
+  options.mark_trivial = false;
+  const std::string out = render_trace(sys.trace(), 1, options);
+  EXPECT_NE(out.find("write o0 := 5"), std::string::npos);
+  EXPECT_EQ(out.find("write o0 := 5 ."), std::string::npos);
+}
+
+TEST(KnowledgeDot, CrashedProcessKeepsPreCrashEdges) {
+  Program prog;
+  const ObjectId a = prog.add_object(0);
+  const ObjectId b = prog.add_object(0);
+  prog.add_process([a](Ctx& ctx) { return writer(ctx, a, 1); });
+  prog.add_process([a, b](Ctx& ctx) -> Op {
+    (void)co_await ctx.read(a);
+    co_await ctx.write(b, 2);
+    co_return 0;
+  });
+  System sys{prog};
+  sys.step(0);
+  sys.step(1);  // p1 reads a -> aware of p0
+  sys.crash(1);
+  ASSERT_TRUE(sys.crashed(1));
+  // The crash leaves no trace event; the dot export must still render the
+  // flow that happened before the crash and nothing after it.
+  const std::string dot =
+      knowledge_dot(sys.trace(), sys.num_processes(), sys.num_objects());
+  EXPECT_NE(dot.find("p0 -> p1 [label=\"o0\"]"), std::string::npos) << dot;
+  EXPECT_EQ(dot.find("p1 -> p0"), std::string::npos) << dot;
+}
+
 TEST(KnowledgeDot, EdgesFollowInformationFlow) {
   Program prog;
   const ObjectId a = prog.add_object(0);

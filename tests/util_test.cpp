@@ -293,10 +293,33 @@ TEST(Samples, Percentiles) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
-TEST(Samples, EmptyThrows) {
+TEST(Samples, EmptyIsSafe) {
   Samples s;
-  EXPECT_THROW((void)s.percentile(50), std::logic_error);
-  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.percentile(50), 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Samples, SingleSample) {
+  Samples s;
+  s.add(42);
+  // Every percentile of a one-sample series is that sample, including the
+  // p == 0 edge where nearest-rank would otherwise compute rank 0.
+  EXPECT_EQ(s.percentile(0), 42u);
+  EXPECT_EQ(s.percentile(50), 42u);
+  EXPECT_EQ(s.percentile(100), 42u);
+  EXPECT_EQ(s.min(), 42u);
+  EXPECT_EQ(s.max(), 42u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Samples, PercentileClampsOutOfRange) {
+  Samples s;
+  for (std::uint64_t i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_EQ(s.percentile(-5.0), 1u);
+  EXPECT_EQ(s.percentile(250.0), 10u);
 }
 
 TEST(Histogram, BucketsAndOverflow) {
@@ -309,6 +332,26 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_EQ(h.overflow(), 2u);  // 4 and 100 both land in overflow
   EXPECT_EQ(h.total(), 6u);
   EXPECT_EQ(h.to_string(), "0:1 1:2 3:1 >=4:2");
+}
+
+TEST(Histogram, OverflowBoundary) {
+  Histogram h{4};
+  h.add(3);  // last in-range bucket
+  h.add(4);  // first overflow value
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket_count(), 4u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, ZeroBucketsSendsEverythingToOverflow) {
+  Histogram h{0};
+  h.add(0);
+  h.add(7);
+  EXPECT_EQ(h.bucket_count(), 0u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.to_string(), ">=0:2");
 }
 
 }  // namespace

@@ -43,8 +43,10 @@
 //
 // Exit code 0 iff every check performed passed.
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "ruco/adversary/counter_adversary.h"
@@ -60,6 +62,8 @@
 #include "ruco/sim/trace_render.h"
 #include "ruco/simalgos/programs.h"
 #include "ruco/simalgos/sim_snapshots.h"
+#include "ruco/telemetry/sim_export.h"
+#include "ruco/telemetry/timeline.h"
 
 namespace {
 
@@ -78,7 +82,9 @@ struct Args {
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoull(it->second);
+    // A bare flag (--progress) counts as "present, default value".
+    return it == options.end() || it->second.empty() ? fallback
+                                                     : std::stoull(it->second);
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return options.count(key) != 0;
@@ -148,6 +154,16 @@ bool parse_fault_plan(const Args& args, std::uint64_t fallback_seed,
   return faulty;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  out << text << "\n";
+  return static_cast<bool>(out);
+}
+
 int cmd_adversary(const Args& args) {
   const std::string target = args.get("target", "cas");
   const auto k = static_cast<std::uint32_t>(args.get_u64("k", 256));
@@ -209,6 +225,9 @@ int cmd_run(const Args& args) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   auto bundle = make_target(target, k);
   ruco::sim::System sys{bundle.program};
+  const bool want_telemetry = args.has("telemetry");
+  const bool want_perfetto = args.has("perfetto");
+  if (want_telemetry) sys.enable_decision_log(true);
   ruco::sim::FaultPlan plan;
   const bool faulty = parse_fault_plan(args, seed, plan);
   ruco::sim::FaultInjector injector{sys, plan};
@@ -275,7 +294,46 @@ int cmd_run(const Args& args) {
               << ruco::sim::knowledge_dot(sys.trace(), sys.num_processes(),
                                           sys.num_objects());
   }
-  return res.decided && res.linearizable && replay_ok ? 0 : 1;
+  bool export_ok = true;
+  if (want_telemetry) {
+    // Contention accounting + scheduler-decision summary, as one JSON file.
+    const auto report = ruco::telemetry::contention_report(sys);
+    std::uint64_t d_steps = 0;
+    std::uint64_t d_crashes = 0;
+    std::uint64_t d_spurious = 0;
+    for (const auto& d : sys.decision_log()) {
+      switch (d.kind) {
+        case ruco::sim::SchedDecision::Kind::kStep: ++d_steps; break;
+        case ruco::sim::SchedDecision::Kind::kCrash: ++d_crashes; break;
+        case ruco::sim::SchedDecision::Kind::kSpurious: ++d_spurious; break;
+      }
+    }
+    std::ostringstream json;
+    json << "{\"contention\":" << report.to_json()
+         << ",\"decisions\":{\"total\":" << sys.decision_log().size()
+         << ",\"steps\":" << d_steps << ",\"crashes\":" << d_crashes
+         << ",\"spurious\":" << d_spurious << "}}";
+    const std::string path = args.get("telemetry", "telemetry.json");
+    export_ok = write_text_file(path, json.str()) && export_ok;
+    if (export_ok) std::cout << "wrote " << path << "\n";
+  }
+  if (want_perfetto) {
+    ruco::telemetry::TimelineWriter tl;
+    ruco::telemetry::sim_timeline(sys, tl);
+    const std::string err = tl.validate();
+    if (!err.empty()) {
+      std::cerr << "error: perfetto export invalid: " << err << "\n";
+      export_ok = false;
+    } else {
+      const std::string path = args.get("perfetto", "sim.trace.json");
+      export_ok = tl.write_file(path) && export_ok;
+      if (export_ok) {
+        std::cout << "wrote " << path << " (" << tl.num_events()
+                  << " events; open at ui.perfetto.dev)\n";
+      }
+    }
+  }
+  return res.decided && res.linearizable && replay_ok && export_ok ? 0 : 1;
 }
 
 int cmd_certify(const Args& args) {
@@ -287,6 +345,16 @@ int cmd_certify(const Args& args) {
   opts.sweep_steps = args.get_u64("sweep", 16);
   opts.storm_seeds = args.get_u64("storms", 8);
   opts.jobs = static_cast<std::uint32_t>(args.get_u64("jobs", 1));
+  if (args.has("progress")) {
+    opts.progress_interval = args.get_u64("progress", 64);
+    opts.on_progress = [](const ruco::sim::CertifyProgress& p) {
+      std::cerr << "certify: " << p.schedules_done << "/"
+                << p.schedules_total << " schedules, "
+                << static_cast<std::uint64_t>(p.schedules_per_sec)
+                << "/s, " << static_cast<std::uint64_t>(p.wall_ms)
+                << " ms\n";
+    };
+  }
   const auto report =
       ruco::sim::certify_wait_freedom(bundle.program, opts);
   std::cout << "wait-freedom certification: " << target << ", K = " << k
@@ -319,6 +387,18 @@ int cmd_check(const Args& args) {
   if (args.has("legacy")) {
     opts.engine = ruco::sim::ModelCheckOptions::Engine::kLegacyRecursive;
   }
+  ruco::sim::ModelCheckTelemetry heartbeat;
+  if (args.has("progress")) {
+    heartbeat.interval_executions = args.get_u64("progress", 10'000);
+    heartbeat.on_progress = [](const ruco::sim::ModelCheckProgress& p) {
+      std::cerr << "check: " << p.executions << " execs, "
+                << static_cast<std::uint64_t>(p.executions_per_sec)
+                << "/s, depth " << p.current_depth << ", pruned "
+                << p.sleep_pruned << "+" << p.persistent_pruned
+                << ", replays " << p.replays << "\n";
+    };
+    opts.telemetry = &heartbeat;
+  }
   const auto verdict = [](const ruco::sim::System& sys) -> std::string {
     const auto res = ruco::lincheck::check_linearizable(
         ruco::lincheck::from_sim_history(sys.history()),
@@ -348,6 +428,41 @@ int cmd_check(const Args& args) {
                     ? " [budget reached]"
                     : "")
             << "\n";
+  if (args.has("telemetry")) {
+    const auto& st = result.stats;
+    std::ostringstream json;
+    json << "{\"executions\":" << result.executions
+         << ",\"nodes\":" << st.nodes
+         << ",\"applied_steps\":" << st.applied_steps
+         << ",\"replays\":" << st.replays
+         << ",\"replayed_steps\":" << st.replayed_steps
+         << ",\"sleep_pruned\":" << st.sleep_pruned
+         << ",\"persistent_pruned\":" << st.persistent_pruned
+         << ",\"frontier_roots\":" << st.frontier_roots
+         << ",\"jobs\":" << st.jobs_used
+         << ",\"wall_ms\":" << st.wall_ms
+         << ",\"executions_per_sec\":"
+         << (st.wall_ms > 0
+                 ? static_cast<double>(result.executions) * 1e3 / st.wall_ms
+                 : 0.0)
+         << ",\"depth_hist\":[";
+    for (std::size_t i = 0; i < st.depth_hist.size(); ++i) {
+      if (i != 0) json << ',';
+      json << st.depth_hist[i];
+    }
+    json << "],\"worker_executions\":[";
+    for (std::size_t i = 0; i < st.worker_executions.size(); ++i) {
+      if (i != 0) json << ',';
+      json << st.worker_executions[i];
+    }
+    json << "]}";
+    const std::string path = args.get("telemetry", "check_telemetry.json");
+    if (write_text_file(path, json.str())) {
+      std::cout << "wrote " << path << "\n";
+    } else {
+      return 1;
+    }
+  }
   if (!result.ok) {
     std::cout << result.message << "\n"
               << ruco::sim::render_schedule(bundle.program,
@@ -367,12 +482,16 @@ int usage() {
                "                    [--crash-proc=P [--crash-step=K]]"
                " [--crash-rate=PERMILLE] [--max-crashes=F]\n"
                "                    [--spurious=PERMILLE] [--fault-seed=S]\n"
+               "                    [--telemetry[=out.json]]"
+               " [--perfetto[=out.trace.json]]\n"
                "  rucosim certify   --target=<cas|tree|aac|uaac|lock> --k=<K>"
                " [--sweep=N] [--storms=N] [--bound=B] [--jobs=N]\n"
+               "                    [--progress[=N]]\n"
                "  rucosim check     --target=<cas|tree|aac|uaac|lock> --k=<K>"
                " [--bound=B] [--max-crashes=F]\n"
                "                    [--max-execs=N] [--por] [--jobs=N]"
-               " [--legacy]\n";
+               " [--legacy] [--progress[=N]]"
+               " [--telemetry[=out.json]]\n";
   return 2;
 }
 
