@@ -4,8 +4,8 @@
 //
 // Series printed:
 //   (a) ReadMax steps vs N               -- expected: constant 1.
-//   (b) WriteMax(v) steps vs v at fixed N -- expected: grows ~ 16 log2 v
-//       while v < N (B1 leaf regime), then flat ~ 8 log2 N (process leaf
+//   (b) WriteMax(v) steps vs v at fixed N -- expected: grows ~ 8 log2 v
+//       while v < N (B1 leaf regime), then flat ~ 4 log2 N (process leaf
 //       regime).  The crossover at v = N is the min() in Theorem 6.
 //   (c) WriteMax(1) steps vs N           -- expected: constant (the whole
 //       point of the B1 subtree: small operands never pay log N).
@@ -79,8 +79,8 @@ int main() {
     t.print();
   }
 
-  std::cout << "\nShape check: (a) constant, (b) ~16*log2(v) before the "
+  std::cout << "\nShape check: (a) constant, (b) ~8*log2(v) before the "
                "v=N crossover then flat, (c) column 1 constant while "
-               "columns 2-3 grow ~8*log2(N).\n";
+               "columns 2-3 grow ~4*log2(N).\n";
   return 0;
 }

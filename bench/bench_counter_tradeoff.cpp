@@ -117,7 +117,8 @@ int main() {
       << "\nShape check: every in-model counter sits on or above the "
          "frontier; fetch_add sits below it, which is exactly what "
          "read/write/CAS implementations cannot do (Theorem 1).  The "
-         "f-array hugs the frontier (read 1, update ~8 log2 N); the AAC "
+         "f-array hugs the frontier (read 1, update ~4 log2 N with the "
+         "conditional refresh); the AAC "
          "counter trades a log-factor on updates for staying read/write "
          "only.\n";
   return 0;

@@ -8,9 +8,21 @@
 // how many base-object events each op really issued under N threads and
 // what fraction of CAS attempts lost their race.
 //
+// Two workload modes:
+//   default   every thread writes its own ascending op counter, so threads
+//             frequently write values the register already covers -- the
+//             duplicate/fast-path regime.
+//   --contend thread t writes ops * nthreads + t: values interleave across
+//             threads and every write is a fresh maximum, so writes race on
+//             the root path instead of short-circuiting -- the worst-case
+//             CAS-contention regime the conditional refresh and backoff are
+//             aimed at.
+//
 //   --threads=N   worker threads (default 4)
 //   --ms=M        measured window per workload (default 200)
 //   --smoke       tiny run for CI (2 threads, 50 ms)
+//   --contend     add the contended-mode workloads
+//   --sweep       run each workload at 1, 2, 4, ... up to --threads
 //   --json <path>     machine-readable results
 //   --perfetto <path> sampled op timeline (open at ui.perfetto.dev)
 #include <atomic>
@@ -43,6 +55,7 @@ std::uint64_t now_us() {
 
 struct WorkloadResult {
   std::string name;
+  std::string mode;  // "default" or "contend"
   std::uint64_t threads = 0;
   std::uint64_t ops = 0;
   std::uint64_t steps = 0;  // shared-memory events across all threads
@@ -74,13 +87,14 @@ std::uint64_t registry_value(const ruco::telemetry::Snapshot& snap,
 /// Runs `body(thread, op_index)` on every thread until the deadline,
 /// recording every `kSampleEvery`-th op into the Perfetto recorder.
 template <typename Body>
-WorkloadResult run_workload(const std::string& name, std::size_t threads,
-                            std::uint64_t window_ms,
+WorkloadResult run_workload(const std::string& name, const std::string& mode,
+                            std::size_t threads, std::uint64_t window_ms,
                             ruco::telemetry::OpRecorder* recorder,
                             std::uint32_t op_name_id, Body&& body) {
   constexpr std::uint64_t kSampleEvery = 1024;
   WorkloadResult r;
   r.name = name;
+  r.mode = mode;
   r.threads = threads;
   std::vector<std::uint64_t> ops_per_thread(threads, 0);
   std::vector<std::uint64_t> steps_per_thread(threads, 0);
@@ -131,11 +145,15 @@ int main(int argc, char** argv) {
   std::size_t threads = 4;
   std::uint64_t window_ms = 200;
   bool smoke = false;
+  bool contend = false;
+  bool sweep = false;
   std::string json_path;
   std::string perfetto_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") smoke = true;
+    if (arg == "--contend") contend = true;
+    if (arg == "--sweep") sweep = true;
     if (arg.rfind("--threads=", 0) == 0) threads = std::stoull(arg.substr(10));
     if (arg.rfind("--ms=", 0) == 0) window_ms = std::stoull(arg.substr(5));
     if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
@@ -146,54 +164,81 @@ int main(int argc, char** argv) {
     window_ms = std::min<std::uint64_t>(window_ms, 50);
   }
   if (threads == 0) threads = 1;
-  const auto n = static_cast<std::uint32_t>(threads);
 
   std::cout << "# Hardware throughput with telemetry: " << threads
-            << " threads, " << window_ms << " ms per workload\n\n";
+            << " threads, " << window_ms << " ms per workload"
+            << (contend ? ", with contended mode" : "")
+            << (sweep ? ", thread sweep" : "") << "\n\n";
 
-  ruco::telemetry::OpRecorder recorder{n, 4096};
+  ruco::telemetry::OpRecorder recorder{static_cast<std::uint32_t>(threads),
+                                       4096};
   ruco::telemetry::OpRecorder* rec =
       perfetto_path.empty() ? nullptr : &recorder;
 
   std::vector<WorkloadResult> results;
-  {
-    ruco::maxreg::CasMaxRegister reg;
-    const auto op = recorder.intern("cas_maxreg.write+read");
-    results.push_back(run_workload(
-        "cas maxreg", threads, window_ms, rec, op,
-        [&](std::size_t t, std::uint64_t ops) {
-          reg.write_max(static_cast<ruco::ProcId>(t),
-                        static_cast<ruco::Value>(ops));
-          (void)reg.read_max(static_cast<ruco::ProcId>(t));
-        }));
+
+  // One pass over the three workloads at a given thread count.  In the
+  // default mode thread t writes its own op counter (values collide across
+  // threads: the duplicate/fast-path regime); in contend mode thread t
+  // writes ops * tc + t so every write is a fresh maximum racing up the
+  // root path.
+  const auto run_suite = [&](std::size_t tc, bool contended) {
+    const auto n = static_cast<std::uint32_t>(tc);
+    const char* mode = contended ? "contend" : "default";
+    {
+      ruco::maxreg::CasMaxRegister reg;
+      const auto op = recorder.intern("cas_maxreg.write+read");
+      results.push_back(run_workload(
+          "cas maxreg", mode, tc, window_ms, rec, op,
+          [&](std::size_t t, std::uint64_t ops) {
+            const auto v = static_cast<ruco::Value>(
+                contended ? ops * tc + t : ops);
+            reg.write_max(static_cast<ruco::ProcId>(t), v);
+            (void)reg.read_max(static_cast<ruco::ProcId>(t));
+          }));
+    }
+    {
+      ruco::maxreg::TreeMaxRegister reg{n};
+      const auto op = recorder.intern("tree_maxreg.write+read");
+      results.push_back(run_workload(
+          "tree maxreg (Alg A)", mode, tc, window_ms, rec, op,
+          [&](std::size_t t, std::uint64_t ops) {
+            const auto v = static_cast<ruco::Value>(
+                contended ? ops * tc + t : ops);
+            reg.write_max(static_cast<ruco::ProcId>(t), v);
+            (void)reg.read_max(static_cast<ruco::ProcId>(t));
+          }));
+    }
+    {
+      ruco::counter::FArrayCounter counter{n};
+      const auto op = recorder.intern("farray_counter.inc+read");
+      // A counter increment has no value operand; contend mode only drops
+      // the read so every op races on the propagation path.
+      results.push_back(run_workload(
+          "f-array counter", mode, tc, window_ms, rec, op,
+          [&](std::size_t t, std::uint64_t) {
+            counter.increment(static_cast<ruco::ProcId>(t));
+            if (!contended) (void)counter.read(static_cast<ruco::ProcId>(t));
+          }));
+    }
+  };
+
+  std::vector<std::size_t> thread_counts;
+  if (sweep) {
+    for (std::size_t tc = 1; tc < threads; tc *= 2) thread_counts.push_back(tc);
   }
-  {
-    ruco::maxreg::TreeMaxRegister reg{n};
-    const auto op = recorder.intern("tree_maxreg.write+read");
-    results.push_back(run_workload(
-        "tree maxreg (Alg A)", threads, window_ms, rec, op,
-        [&](std::size_t t, std::uint64_t ops) {
-          reg.write_max(static_cast<ruco::ProcId>(t),
-                        static_cast<ruco::Value>(ops));
-          (void)reg.read_max(static_cast<ruco::ProcId>(t));
-        }));
-  }
-  {
-    ruco::counter::FArrayCounter counter{n};
-    const auto op = recorder.intern("farray_counter.inc+read");
-    results.push_back(run_workload(
-        "f-array counter", threads, window_ms, rec, op,
-        [&](std::size_t t, std::uint64_t) {
-          counter.increment(static_cast<ruco::ProcId>(t));
-          (void)counter.read(static_cast<ruco::ProcId>(t));
-        }));
+  thread_counts.push_back(threads);
+  for (const std::size_t tc : thread_counts) {
+    run_suite(tc, false);
+    if (contend) run_suite(tc, true);
   }
 
-  ruco::Table t{{"workload", "threads", "ops/sec", "steps/op",
+  ruco::Table t{{"workload", "mode", "threads", "ops/sec", "steps/op",
                  "CAS fail rate"}};
   for (const auto& r : results) {
-    t.add(r.name, r.threads, static_cast<std::uint64_t>(r.ops_per_sec()),
-          r.steps_per_op(), r.cas_fail_rate());
+    t.add(r.name, r.mode, r.threads,
+          static_cast<std::uint64_t>(r.ops_per_sec()), r.steps_per_op(),
+          r.cas_fail_rate());
   }
   t.print();
 
@@ -203,7 +248,8 @@ int main(int argc, char** argv) {
         << ",\n  \"window_ms\": " << window_ms << ",\n  \"series\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
-      out << "    {\"workload\": \"" << r.name << "\", \"ops\": " << r.ops
+      out << "    {\"workload\": \"" << r.name << "\", \"mode\": \"" << r.mode
+          << "\", \"threads\": " << r.threads << ", \"ops\": " << r.ops
           << ", \"ops_per_sec\": " << r.ops_per_sec()
           << ", \"steps_per_op\": " << r.steps_per_op()
           << ", \"cas_attempts\": " << r.cas_attempts
@@ -232,8 +278,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nShape check: the cas register reads in O(1) but pays for "
                "contention in failed CAS retries; Algorithm A's tree "
-               "register spreads writes over O(log N) switches (higher "
-               "steps/op, near-zero CAS failures at the root); the f-array "
-               "counter reads in one step with O(log N) updates.\n";
+               "register spreads writes over O(log N) switches with "
+               "conditional refresh pruning the second CAS round (near-zero "
+               "failures in the default regime, root fast path absorbing "
+               "duplicate maxima); the f-array counter reads in one step "
+               "with O(log N) updates.\n";
   return 0;
 }

@@ -81,7 +81,7 @@ int main() {
     r.add(n, "counter over f-array snapshot", reads.mean(), incs.mean());
   }
   r.print();
-  std::cout << "\nShape check: the O(1)-scan snapshot pays ~8 log2 N per "
+  std::cout << "\nShape check: the O(1)-scan snapshot pays ~4 log2 N per "
                "update; the O(N)-scan snapshots update in O(1); the "
                "reduction's counter inherits the (1, log N) point -- no "
                "snapshot beats the frontier anywhere.\n";

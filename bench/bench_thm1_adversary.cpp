@@ -53,7 +53,7 @@ int main() {
   t.print();
   std::cout
       << "\nShape check: rounds r >= log3(N/f) everywhere (the lower "
-         "bound); for the f-array r tracks ~8 log2 N (its actual increment "
+         "bound); for the f-array r tracks ~4 log2 N (its actual increment "
          "cost), i.e. the bound is loose by the constant the paper "
          "predicts; reader awareness = N confirms Lemma 3's information "
          "requirement.  The 2-CAS counter (stronger primitive, outside "

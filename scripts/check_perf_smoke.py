@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression guard over bench_hw_throughput JSON output.
+
+Usage: check_perf_smoke.py <bench_json> [baseline_json]
+
+Compares steps/op of selected (workload, mode, threads) series against the
+recorded baselines (scripts/perf_baseline.json by default) and fails when a
+series exceeds its baseline by more than the configured tolerance.  Steps/op
+is the paper's complexity measure and is (near-)deterministic -- unlike
+ops/sec it does not depend on CI machine speed, so a 10% excursion means an
+actual hot-path step regression (an extra load in the refresh loop, a lost
+fast path), not noise.
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "perf_baseline.json")
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    tolerance = float(baseline.get("tolerance", 1.10))
+
+    series = {}
+    for entry in bench.get("series", []):
+        key = "|".join(
+            [entry["workload"],
+             entry.get("mode", "default"),
+             str(entry.get("threads", bench.get("threads", "?")))])
+        series[key] = float(entry["steps_per_op"])
+
+    failures = []
+    for key, base in baseline["baselines"].items():
+        if key not in series:
+            failures.append(f"missing series '{key}' in {bench_path}")
+            continue
+        measured = series[key]
+        limit = base * tolerance
+        verdict = "OK" if measured <= limit else "FAIL"
+        print(f"{verdict}: {key}: steps/op {measured:.2f} "
+              f"(baseline {base:.2f}, limit {limit:.2f})")
+        if measured > limit:
+            failures.append(
+                f"{key}: steps/op {measured:.2f} exceeds {limit:.2f}")
+
+    if failures:
+        print("\nperf-smoke regression guard FAILED:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print("\nperf-smoke regression guard passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,7 @@ cmake --build "$build_dir" \
     --json "$repo_root/BENCH_model_checker.json"
 "$build_dir/bench/bench_crash_storm" $smoke_flag \
     --json "$repo_root/BENCH_crash_storm.json"
-"$build_dir/bench/bench_hw_throughput" $smoke_flag \
+"$build_dir/bench/bench_hw_throughput" $smoke_flag --contend --sweep \
     --json "$repo_root/BENCH_throughput.json"
 
 echo "wrote $repo_root/BENCH_model_checker.json"

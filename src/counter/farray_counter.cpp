@@ -20,7 +20,7 @@ FArrayCounter::FArrayCounter(std::uint32_t num_processes)
 
 Value FArrayCounter::read(ProcId /*proc*/) const {
   runtime::step_tick();
-  return values_[shape_.root()].value.load();
+  return values_[shape_.root()].value.load(std::memory_order_acquire);
 }
 
 void FArrayCounter::increment(ProcId proc) {
@@ -32,7 +32,8 @@ void FArrayCounter::increment(ProcId proc) {
   local_count_[proc].value.store(next, std::memory_order_relaxed);
   const auto leaf = shape_.leaf(proc);
   runtime::step_tick();
-  values_[leaf].value.store(next);
+  // Release pairs with propagate_twice's acquire child loads.
+  values_[leaf].value.store(next, std::memory_order_release);
   maxreg::propagate_twice(shape_, values_, leaf, combine_sum);
 }
 

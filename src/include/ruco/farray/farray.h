@@ -53,7 +53,9 @@ class FArray {
     telemetry::prod().farray_updates.inc();
     const auto leaf = shape_.leaf(slot);
     runtime::step_tick();
-    values_[leaf].value.store(v);
+    // Release pairs with the acquire child loads in propagate_twice (ours
+    // and every concurrent refresher's).
+    values_[leaf].value.store(v, std::memory_order_release);
     maxreg::propagate_twice(shape_, values_, leaf, combine_);
   }
 
@@ -61,13 +63,13 @@ class FArray {
   [[nodiscard]] Value read_aggregate(ProcId /*proc*/) const {
     telemetry::prod().farray_reads.inc();
     runtime::step_tick();
-    return values_[shape_.root()].value.load();
+    return values_[shape_.root()].value.load(std::memory_order_acquire);
   }
 
   /// Direct read of one slot.  One step.
   [[nodiscard]] Value read_slot(ProcId /*proc*/, std::uint32_t slot) const {
     runtime::step_tick();
-    return values_[shape_.leaf(slot)].value.load();
+    return values_[shape_.leaf(slot)].value.load(std::memory_order_acquire);
   }
 
   [[nodiscard]] std::uint32_t num_slots() const noexcept { return n_; }

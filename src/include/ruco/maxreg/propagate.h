@@ -1,16 +1,45 @@
-// The double-CAS propagation loop shared by Algorithm A's max register and
-// the f-array counter / snapshot (Hendler & Khait Algorithm A lines 3-9;
+// The double-refresh propagation loop shared by Algorithm A's max register
+// and the f-array counter / snapshot (Hendler & Khait Algorithm A lines 3-9;
 // Jayanti's Tree Algorithm adapted from LL/SC to CAS).
 //
 // At every node on the path from `start` to the root, the caller's combine
-// function is evaluated over the two children and CASed into the node --
-// twice.  Two attempts suffice for linearizability of *monotone* aggregates
+// function is evaluated over the two children and CASed into the node.
+// Two refresh rounds suffice for linearizability of *monotone* aggregates
 // (max, sums of single-writer counters, version-ordered views): if our CAS
 // fails, a concurrent CAS succeeded, and its combine input was read after
 // our child update; if the second also fails, the interfering CAS read the
 // children after our first attempt, hence already covers our update (the
 // paper's Lemma 9 / Invariant 1 argument).  Monotonicity is what rules out
 // ABA, which is why the LL/SC -> CAS substitution is sound here.
+//
+// Conditional refresh (RefreshPolicy::kConditional, the default).  The
+// argument above makes the second round *conditional* on losing the first:
+// a won CAS installed a combine computed from child values read after our
+// child update, so the node covers us and round two is pure overhead.
+// Likewise, when the combine equals the value the node already holds there
+// is nothing to install: the node held the covering value at our load, and
+// node values are monotone under combine, so it covers us forever after --
+// the level costs three loads and no CAS at all.  On the uncontended path
+// this halves CAS traffic per level (one CAS instead of two); the model
+// checker exhaustively verifies the pruned protocol against the
+// kAlwaysTwice oracle at small N (tests/hotpath_test.cpp) and the ablation
+// bench quantifies the step savings.
+//
+// Memory orders (per-site argument; DESIGN.md "Hot-path memory orders"):
+//   * node load: relaxed.  The value is used only as the CAS expected
+//     operand and for the no-change test -- never dereferenced.  A stale
+//     read is conservative: a stale expected fails the CAS (retry/round 2),
+//     and a stale value equal to the fresh combine means the node held the
+//     covering value even earlier (monotone => still covers).
+//   * child loads: acquire.  They synchronize with the release CAS (or
+//     release leaf store) that published the child value; when T is a
+//     pointer (f-array snapshot views) the referent is dereferenced by the
+//     combine, so the acquire edge is what makes the published contents
+//     visible.
+//   * CAS: release on success -- publishes the combined value (and, for
+//     pointer aggregates, everything the combine wrote) to the next
+//     level's acquire child loads; relaxed on failure -- the reloaded
+//     expected is discarded (round 2 re-reads everything fresh).
 #pragma once
 
 #include <atomic>
@@ -18,6 +47,7 @@
 #include <vector>
 
 #include "ruco/core/types.h"
+#include "ruco/maxreg/refresh_policy.h"
 #include "ruco/runtime/padded.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/telemetry/metrics.h"
@@ -27,43 +57,61 @@ namespace ruco::maxreg {
 
 /// Propagates from the *parent* of `start` up to the root of `shape`.
 /// `values[n]` is the atomic cell of node n; `combine(l, r)` computes the
-/// new aggregate from the two child values.  T must be trivially copyable
-/// and the sequence of values at every cell monotone under `combine`
-/// (see file comment).
+/// new aggregate from the two child values.  T must be trivially copyable,
+/// equality-comparable, and the sequence of values at every cell monotone
+/// under `combine` (see file comment).
 template <typename Shape, typename T, typename Combine>
 void propagate_twice(const Shape& shape,
                      std::vector<runtime::PaddedAtomic<T>>& values,
-                     typename Shape::NodeId start, Combine&& combine) {
+                     typename Shape::NodeId start, Combine&& combine,
+                     RefreshPolicy policy = RefreshPolicy::kConditional) {
   using NodeId = typename Shape::NodeId;
+  const bool conditional = policy == RefreshPolicy::kConditional;
   // Batched telemetry: tally in locals, publish once per propagation so the
   // per-level loop stays free of counter traffic.
   std::uint64_t levels = 0;
+  std::uint64_t attempts = 0;
   std::uint64_t failures = 0;
+  std::uint64_t second_rounds = 0;
+  std::uint64_t skipped = 0;
   NodeId n = start;
   while (shape.parent(n) != Shape::kNil) {
     n = shape.parent(n);
     ++levels;
     const NodeId l = shape.left(n);
     const NodeId r = shape.right(n);
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    for (int round = 0; round < 2; ++round) {
       runtime::step_tick();
-      T old_value = values[n].value.load();
+      T old_value = values[n].value.load(std::memory_order_relaxed);
       runtime::step_tick();
-      const T lv = values[l].value.load();
+      const T lv = values[l].value.load(std::memory_order_acquire);
       runtime::step_tick();
-      const T rv = values[r].value.load();
+      const T rv = values[r].value.load(std::memory_order_acquire);
       const T new_value = combine(lv, rv);
+      if (conditional && new_value == old_value) {
+        // Pure-load level: the node already holds the covering aggregate.
+        ++skipped;
+        break;
+      }
       runtime::step_tick();
-      if (!values[n].value.compare_exchange_strong(old_value, new_value)) {
+      ++attempts;
+      if (values[n].value.compare_exchange_strong(old_value, new_value,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed)) {
+        if (conditional) break;  // won: combine read after our child update
+      } else {
         ++failures;
+        if (round == 0) ++second_rounds;
       }
     }
   }
   if (levels != 0) {
     const telemetry::ProdMetrics& tm = telemetry::prod();
     tm.propagate_levels.add(levels);
-    tm.propagate_cas_attempts.add(levels * 2);  // two CAS per level, always
+    tm.propagate_cas_attempts.add(attempts);  // actual CASes, not levels * 2
     if (failures != 0) tm.propagate_cas_failures.add(failures);
+    if (second_rounds != 0) tm.propagate_second_rounds.add(second_rounds);
+    if (skipped != 0) tm.propagate_cas_skips.add(skipped);
   }
 }
 

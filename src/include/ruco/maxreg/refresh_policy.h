@@ -1,0 +1,25 @@
+// Refresh policy for the Jayanti-style double-refresh propagation loop
+// (ruco/maxreg/propagate.h and its simulation-layer mirrors).
+#pragma once
+
+#include <cstdint>
+
+namespace ruco::maxreg {
+
+/// How many refresh rounds a propagation performs per tree level.
+///
+/// The classic protocol is "refresh; if it failed, refresh again": the
+/// second round exists only to cover the CAS the first round *lost*.  When
+/// the first CAS succeeds its combine inputs were read after our child
+/// update, so the node already covers us -- the second round is pure
+/// overhead.  kConditional prunes it (and skips the CAS entirely when the
+/// combine produces the value the node already holds); kAlwaysTwice is the
+/// unconditional variant the seed shipped, kept as the differential oracle
+/// the model-checker equivalence tests and ablation benches compare
+/// against.  See propagate.h for the soundness argument.
+enum class RefreshPolicy : std::uint8_t {
+  kConditional,  // skip round 2 after a won CAS; skip no-change CASes
+  kAlwaysTwice,  // unconditional two CAS rounds per level (oracle)
+};
+
+}  // namespace ruco::maxreg

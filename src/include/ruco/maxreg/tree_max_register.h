@@ -51,7 +51,11 @@ class TreeMaxRegister {
   /// Exactly one shared-memory step.
   [[nodiscard]] Value read_max(ProcId proc) const;
 
-  /// Writes v >= 0.  Caller must pass its own process id in [0, N).
+  /// Writes v >= 0 (negative operands throw std::out_of_range in every
+  /// build).  Caller must pass its own process id in [0, N).  In
+  /// kHelpOnDuplicate mode a root-check fast path returns in O(1) when the
+  /// root already covers v (sound: ReadMax only looks at the root, which is
+  /// monotone).
   void write_max(ProcId proc, Value v);
 
   [[nodiscard]] std::uint32_t num_processes() const noexcept {

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "ruco/core/types.h"
+#include "ruco/maxreg/refresh_policy.h"
 #include "ruco/maxreg/tree_max_register.h"  // Faithfulness
 #include "ruco/sim/system.h"
 
@@ -33,10 +34,12 @@ struct MaxRegProgram {
 };
 
 /// Algorithm A target: K-1 writers + 1 reader sharing a SimTreeMaxRegister
-/// for K processes.
+/// for K processes.  `policy` selects the conditional-refresh pruning
+/// (default, mirrors production) or the paper-literal double refresh.
 [[nodiscard]] MaxRegProgram make_tree_maxreg_program(
     std::uint32_t k,
-    maxreg::Faithfulness mode = maxreg::Faithfulness::kHelpOnDuplicate);
+    maxreg::Faithfulness mode = maxreg::Faithfulness::kHelpOnDuplicate,
+    maxreg::RefreshPolicy policy = maxreg::RefreshPolicy::kConditional);
 
 /// CAS-retry-loop target (f(K) = O(1) reads; the adversary's best victim).
 [[nodiscard]] MaxRegProgram make_cas_maxreg_program(std::uint32_t k);

@@ -18,9 +18,16 @@ namespace ruco::simalgos {
 /// twin, the increment re-reads its own leaf (one extra step) because
 /// simulated operations may not carry state between operations (replay
 /// after erasure re-runs coroutines from scratch).
+///
+/// `policy` mirrors the production conditional-refresh pruning in
+/// ruco/maxreg/propagate.h (skip round 2 after a won CAS; skip the CAS when
+/// the recomputed sum equals the node value); kAlwaysTwice is the
+/// paper-literal double refresh.
 class SimFArrayCounter {
  public:
-  SimFArrayCounter(sim::Program& program, std::uint32_t num_processes);
+  SimFArrayCounter(
+      sim::Program& program, std::uint32_t num_processes,
+      maxreg::RefreshPolicy policy = maxreg::RefreshPolicy::kConditional);
 
   [[nodiscard]] sim::Op read(sim::Ctx& ctx) const;
   [[nodiscard]] sim::Op increment(sim::Ctx& ctx) const;
@@ -34,6 +41,7 @@ class SimFArrayCounter {
   std::uint32_t n_;
   util::TreeShape shape_;
   std::vector<sim::ObjectId> objects_;
+  maxreg::RefreshPolicy policy_;
 };
 
 /// Aspnes-Attiya-Censor-Hillel counter over simulated memory: read

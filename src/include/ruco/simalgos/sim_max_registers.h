@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ruco/core/types.h"
+#include "ruco/maxreg/refresh_policy.h"
 #include "ruco/maxreg/tree_max_register.h"  // Faithfulness
 #include "ruco/sim/op.h"
 #include "ruco/sim/system.h"
@@ -25,10 +26,19 @@ namespace ruco::simalgos {
 /// enough; with 1 attempt a failed CAS abandons the level and a completed
 /// WriteMax can be missed by later reads (the ablation bench and tests
 /// exhibit the violation), with 2 (the default) the algorithm is correct.
+///
+/// `policy` mirrors the production conditional-refresh pruning (see
+/// ruco/maxreg/propagate.h): kConditional skips the second round when the
+/// first CAS wins and skips the CAS entirely when the recomputed max equals
+/// the node's current value; kAlwaysTwice is the paper-literal shape.  The
+/// model checker verifies both reach the same linearizations
+/// (hotpath_test).
 class SimTreeMaxRegister {
  public:
-  SimTreeMaxRegister(sim::Program& program, std::uint32_t num_processes,
-                     maxreg::Faithfulness mode, int propagate_attempts = 2);
+  SimTreeMaxRegister(
+      sim::Program& program, std::uint32_t num_processes,
+      maxreg::Faithfulness mode, int propagate_attempts = 2,
+      maxreg::RefreshPolicy policy = maxreg::RefreshPolicy::kConditional);
 
   [[nodiscard]] sim::Op read_max(sim::Ctx& ctx) const;
   [[nodiscard]] sim::Op write_max(sim::Ctx& ctx, Value v) const;
@@ -49,6 +59,7 @@ class SimTreeMaxRegister {
   std::vector<sim::ObjectId> objects_;  // one base object per tree node
   maxreg::Faithfulness mode_;
   int propagate_attempts_;
+  maxreg::RefreshPolicy policy_;
 };
 
 /// Single-word CAS-retry max register over simulated memory.  The model's

@@ -18,11 +18,14 @@ struct ProdMetrics {
   // maxreg: CAS-loop behavior of the max register family.
   Counter maxreg_cas_attempts;   // CAS issued by CasMaxRegister::write_max
   Counter maxreg_cas_failures;   // ... that lost the race
-  Counter propagate_cas_attempts;  // CAS issued by propagate_twice
+  Counter propagate_cas_attempts;  // CASes actually issued by propagate_twice
   Counter propagate_cas_failures;
   Counter propagate_levels;        // tree levels walked by propagate_twice
+  Counter propagate_second_rounds;  // levels whose first refresh lost its CAS
+  Counter propagate_cas_skips;      // pure-load levels (combine == node value)
   Histogram tree_descent_depth;    // B1-tree leaf depth per write_max
   Counter tree_duplicate_writes;   // write_max early-returns (value present)
+  Counter tree_root_fastpath;      // write_max early-returns (root >= v)
   Counter aac_write_abandons;      // AAC writes abandoned by a larger writer
   Counter aac_switches_set;        // AAC switch nodes flipped
 

@@ -3,8 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ruco/runtime/backoff.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/telemetry/metrics.h"
+
+// Memory orders (DESIGN.md "Hot-path memory orders").  Descriptors are
+// cross-thread mutable state published by CASing tagged pointers into
+// cells, so the discipline is the classic publication pattern:
+//   * any CAS that installs a descriptor pointer: release on success (the
+//     descriptor's fields were written before the install) and acquire on
+//     failure (the loaded word may itself be somebody else's descriptor we
+//     are about to dereference and help);
+//   * any plain load whose value may be dereferenced (cell reads, status
+//     control reads): acquire;
+//   * CASes whose failure value is discarded (rdcss_complete's unpark,
+//     phase-2 release CASes): release/relaxed.
+// The status word is the linearization point; its decide-CAS is acq_rel so
+// the decision both publishes phase-1's acquisitions and orders phase 2
+// after every acquisition it saw.
 
 namespace ruco::kcas {
 
@@ -32,26 +48,32 @@ Value McasArray::unpack_value(Word w) noexcept {
 
 void McasArray::rdcss_complete(RdcssDescriptor* d) {
   runtime::step_tick();
-  const std::uintptr_t control = d->control->load();
+  const std::uintptr_t control = d->control->load(std::memory_order_acquire);
   Word parked = tag_rdcss(d);
   const Word next =
       control == d->expected_control ? d->desired : d->expected;
   runtime::step_tick();
-  d->cell->compare_exchange_strong(parked, next);
+  d->cell->compare_exchange_strong(parked, next, std::memory_order_release,
+                                   std::memory_order_relaxed);
 }
 
 McasArray::Word McasArray::rdcss(RdcssDescriptor* d) {
+  runtime::Backoff backoff;
   for (;;) {
     Word current = d->expected;
     runtime::step_tick();
-    if (d->cell->compare_exchange_strong(current, tag_rdcss(d))) {
+    if (d->cell->compare_exchange_strong(current, tag_rdcss(d),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
       rdcss_complete(d);
       return d->expected;
     }
     if (is_rdcss(current)) {
-      // Someone else's acquisition is parked here: finish it and retry.
+      // Someone else's acquisition is parked here: finish it and retry,
+      // backing off (bounded) before re-contending the cell.
       telemetry::prod().mcas_rdcss_helps.inc();
       rdcss_complete(as_rdcss(current));
+      backoff.pause();
       continue;
     }
     return current;  // a plain value or an MCAS descriptor
@@ -60,13 +82,14 @@ McasArray::Word McasArray::rdcss(RdcssDescriptor* d) {
 
 bool McasArray::mcas_help(ProcId proc, McasDescriptor* d) {
   runtime::step_tick();
-  if (d->status.load() ==
+  if (d->status.load(std::memory_order_acquire) ==
       static_cast<std::uintptr_t>(Status::kUndecided)) {
     // Phase 1: acquire every word, wedging our descriptor in, unless the
     // operation gets decided under us (the RDCSS control check) or a word
     // no longer matches.
     auto desired_status = static_cast<std::uintptr_t>(Status::kSucceeded);
     for (const McasWord& word : d->words) {
+      runtime::Backoff backoff;
       for (;;) {
         RdcssDescriptor* rd = &arenas_[proc].rdcss.emplace_back();
         rd->control = &d->status;
@@ -78,9 +101,12 @@ bool McasArray::mcas_help(ProcId proc, McasDescriptor* d) {
         const Word content = rdcss(rd);
         if (is_mcas(content)) {
           if (as_mcas(content) != d) {
-            // A different MCAS holds the word: help it finish, then retry.
+            // A different MCAS holds the word: help it finish, then retry
+            // after a bounded backoff (helping storms thrash the word's
+            // line; the helped op has already made our progress).
             telemetry::prod().mcas_helps.inc();
             mcas_help(proc, as_mcas(content));
+            backoff.pause();
             continue;
           }
           break;  // already acquired for d (by a helper)
@@ -99,34 +125,40 @@ bool McasArray::mcas_help(ProcId proc, McasDescriptor* d) {
     auto expected_status =
         static_cast<std::uintptr_t>(Status::kUndecided);
     runtime::step_tick();
-    d->status.compare_exchange_strong(expected_status, desired_status);
+    d->status.compare_exchange_strong(expected_status, desired_status,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
   }
   // Phase 2: release every word to its decided value.
   runtime::step_tick();
   const bool success =
-      d->status.load() == static_cast<std::uintptr_t>(Status::kSucceeded);
+      d->status.load(std::memory_order_acquire) ==
+      static_cast<std::uintptr_t>(Status::kSucceeded);
   for (const McasWord& word : d->words) {
     Word parked = tag_mcas(d);
     runtime::step_tick();
     cells_[word.index].value.compare_exchange_strong(
-        parked,
-        pack_value(success ? word.desired : word.expected));
+        parked, pack_value(success ? word.desired : word.expected),
+        std::memory_order_release, std::memory_order_relaxed);
   }
   return success;
 }
 
 Value McasArray::read(ProcId proc, std::uint32_t index) {
+  runtime::Backoff backoff;
   for (;;) {
     runtime::step_tick();
-    const Word w = cells_[index].value.load();
+    const Word w = cells_[index].value.load(std::memory_order_acquire);
     if (is_rdcss(w)) {
       telemetry::prod().mcas_rdcss_helps.inc();
       rdcss_complete(as_rdcss(w));
+      backoff.pause();
       continue;
     }
     if (is_mcas(w)) {
       telemetry::prod().mcas_helps.inc();
       mcas_help(proc, as_mcas(w));
+      backoff.pause();
       continue;
     }
     return unpack_value(w);

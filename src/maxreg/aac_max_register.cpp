@@ -38,7 +38,9 @@ Value AacMaxRegister::read_max(ProcId /*proc*/) const {
 }
 
 void AacMaxRegister::write_max(ProcId /*proc*/, Value v) {
-  assert(v >= 0);
+  if (v < 0) {
+    throw std::out_of_range{"AacMaxRegister::write_max: negative operand"};
+  }
   if (v >= bound_) {
     throw std::out_of_range{"AacMaxRegister::write_max: operand >= bound"};
   }

@@ -1,8 +1,9 @@
 #include "ruco/maxreg/cas_max_register.h"
 
-#include <cassert>
 #include <cstdint>
+#include <stdexcept>
 
+#include "ruco/runtime/backoff.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/telemetry/metrics.h"
 
@@ -10,25 +11,39 @@ namespace ruco::maxreg {
 
 Value CasMaxRegister::read_max(ProcId /*proc*/) const {
   runtime::step_tick();
-  return cell_.value.load();
+  return cell_.value.load(std::memory_order_acquire);
 }
 
 void CasMaxRegister::write_max(ProcId /*proc*/, Value v) {
-  assert(v >= 0);
+  if (v < 0) {
+    throw std::out_of_range{"CasMaxRegister::write_max: negative operand"};
+  }
+  // Memory orders: the cell holds a self-contained Value -- nothing is
+  // published through it by dereference -- so the initial load is a hint
+  // the CAS re-validates (relaxed), the CAS releases on success (pairs with
+  // read_max's acquire), and a failed CAS reloads relaxed: the reloaded
+  // value only feeds the monotone `current < v` retest, where per-location
+  // coherence already orders it after every value this thread has seen.
   runtime::step_tick();
-  Value current = cell_.value.load();
+  Value current = cell_.value.load(std::memory_order_relaxed);
   // Batched telemetry: tally the CAS loop in locals and publish once, so a
   // contended retry burst costs one counter write, not one per attempt.
   std::uint64_t attempts = 0;
   bool won = false;
+  runtime::Backoff backoff;
   while (current < v) {
     runtime::step_tick();
     ++attempts;
-    if (cell_.value.compare_exchange_weak(current, v)) {
+    if (cell_.value.compare_exchange_weak(current, v,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
       won = true;
       break;
     }
-    // compare_exchange reloads `current` on failure; loop re-tests.
+    // compare_exchange reloads `current` on failure; loop re-tests.  Every
+    // failure means another writer won -- back off (bounded, pause-hinted)
+    // before re-contending the line.
+    backoff.pause();
   }
   if (attempts != 0) {
     const telemetry::ProdMetrics& tm = telemetry::prod();

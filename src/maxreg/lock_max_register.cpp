@@ -1,7 +1,7 @@
 #include "ruco/maxreg/lock_max_register.h"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 namespace ruco::maxreg {
 
@@ -11,7 +11,9 @@ Value LockMaxRegister::read_max(ProcId /*proc*/) const {
 }
 
 void LockMaxRegister::write_max(ProcId /*proc*/, Value v) {
-  assert(v >= 0);
+  if (v < 0) {
+    throw std::out_of_range{"LockMaxRegister::write_max: negative operand"};
+  }
   const std::scoped_lock lock{mutex_};
   value_ = std::max(value_, v);
 }

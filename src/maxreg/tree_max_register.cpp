@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "ruco/maxreg/propagate.h"
 #include "ruco/runtime/stepcount.h"
@@ -23,18 +24,33 @@ TreeMaxRegister::TreeMaxRegister(std::uint32_t num_processes,
 
 Value TreeMaxRegister::read_max(ProcId /*proc*/) const {
   runtime::step_tick();
-  return values_[shape_.root()].value.load();
+  return values_[shape_.root()].value.load(std::memory_order_acquire);
 }
 
 void TreeMaxRegister::write_max(ProcId proc, Value v) {
-  assert(v >= 0);
+  if (v < 0) {
+    throw std::out_of_range{"TreeMaxRegister::write_max: negative operand"};
+  }
   assert(proc < shape_.num_processes());
+  if (mode_ == Faithfulness::kHelpOnDuplicate) {
+    // Root-check fast path: if the root already covers v, every subsequent
+    // ReadMax returns >= v and this operation may linearize right after the
+    // write that put the root there -- O(1) instead of a full descent.
+    // Not applied in kAsPrinted mode, which reproduces the paper's literal
+    // pseudocode.
+    runtime::step_tick();
+    if (values_[shape_.root()].value.load(std::memory_order_acquire) >= v) {
+      telemetry::prod().tree_root_fastpath.inc();
+      return;
+    }
+  }
   const auto leaf = v < shape_.num_processes()
                         ? shape_.value_leaf(static_cast<std::uint64_t>(v))
                         : shape_.process_leaf(proc);
   telemetry::prod().tree_descent_depth.record(shape_.depth(leaf));
   runtime::step_tick();
-  const Value old_value = values_[leaf].value.load();
+  const Value old_value =
+      values_[leaf].value.load(std::memory_order_acquire);
   if (v <= old_value) {
     // Another write of >= v already reached this leaf.  The paper's printed
     // code returns here; without helping, the other write may not have
@@ -47,7 +63,7 @@ void TreeMaxRegister::write_max(ProcId proc, Value v) {
     return;
   }
   runtime::step_tick();
-  values_[leaf].value.store(v);
+  values_[leaf].value.store(v, std::memory_order_release);
   propagate_twice(shape_, values_, leaf, combine_max);
 }
 

@@ -65,7 +65,10 @@ Value UnboundedAacMaxRegister::read_max(ProcId proc) const {
 }
 
 void UnboundedAacMaxRegister::write_max(ProcId proc, Value v) {
-  assert(v >= 0);
+  if (v < 0) {
+    throw std::out_of_range{
+        "UnboundedAacMaxRegister::write_max: negative operand"};
+  }
   const std::uint32_t g = group_of(v);
   if (g >= max_groups_) {
     throw std::out_of_range{

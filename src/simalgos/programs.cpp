@@ -86,8 +86,9 @@ CounterProgram make_counter_program(std::uint32_t n, Args&&... args) {
 }  // namespace
 
 MaxRegProgram make_tree_maxreg_program(std::uint32_t k,
-                                       maxreg::Faithfulness mode) {
-  return make_maxreg_program<SimTreeMaxRegister>(k, k, mode);
+                                       maxreg::Faithfulness mode,
+                                       maxreg::RefreshPolicy policy) {
+  return make_maxreg_program<SimTreeMaxRegister>(k, k, mode, 2, policy);
 }
 
 MaxRegProgram make_cas_maxreg_program(std::uint32_t k) {

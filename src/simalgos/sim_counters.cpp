@@ -8,8 +8,11 @@ namespace ruco::simalgos {
 // ------------------------------------------------------------ f-array (sum)
 
 SimFArrayCounter::SimFArrayCounter(sim::Program& program,
-                                   std::uint32_t num_processes)
-    : n_{num_processes}, shape_{util::complete_shape(num_processes)} {
+                                   std::uint32_t num_processes,
+                                   maxreg::RefreshPolicy policy)
+    : n_{num_processes},
+      shape_{util::complete_shape(num_processes)},
+      policy_{policy} {
   objects_.reserve(shape_.node_count());
   for (std::size_t i = 0; i < shape_.node_count(); ++i) {
     objects_.push_back(program.add_object(0));
@@ -24,6 +27,10 @@ sim::Op SimFArrayCounter::increment(sim::Ctx& ctx) const {
   const auto leaf = shape_.leaf(ctx.id());
   const Value mine = co_await ctx.read(objects_[leaf]);
   co_await ctx.write(objects_[leaf], mine + 1);
+  // Double refresh per level; under kConditional the production pruning
+  // applies (ruco/maxreg/propagate.h): no-change recompute skips the CAS,
+  // a won CAS skips the second round.
+  const bool conditional = policy_ == maxreg::RefreshPolicy::kConditional;
   auto n = leaf;
   while (shape_.parent(n) != util::TreeShape::kNil) {
     n = shape_.parent(n);
@@ -31,7 +38,9 @@ sim::Op SimFArrayCounter::increment(sim::Ctx& ctx) const {
       const Value old_value = co_await ctx.read(objects_[n]);
       const Value l = co_await ctx.read(objects_[shape_.left(n)]);
       const Value r = co_await ctx.read(objects_[shape_.right(n)]);
-      co_await ctx.cas(objects_[n], old_value, l + r);
+      if (conditional && l + r == old_value) break;
+      const Value ok = co_await ctx.cas(objects_[n], old_value, l + r);
+      if (conditional && ok != 0) break;
     }
   }
   co_return 0;

@@ -13,10 +13,12 @@ namespace ruco::simalgos {
 SimTreeMaxRegister::SimTreeMaxRegister(sim::Program& program,
                                        std::uint32_t num_processes,
                                        maxreg::Faithfulness mode,
-                                       int propagate_attempts)
+                                       int propagate_attempts,
+                                       maxreg::RefreshPolicy policy)
     : shape_{num_processes},
       mode_{mode},
-      propagate_attempts_{propagate_attempts} {
+      propagate_attempts_{propagate_attempts},
+      policy_{policy} {
   objects_.reserve(shape_.node_count());
   for (std::size_t i = 0; i < shape_.node_count(); ++i) {
     objects_.push_back(program.add_object(kNoValue));
@@ -30,6 +32,12 @@ sim::Op SimTreeMaxRegister::read_max(sim::Ctx& ctx) const {
 sim::Op SimTreeMaxRegister::propagate(sim::Ctx& ctx,
                                       util::TreeShape::NodeId leaf) const {
   // Paper Algorithm A, lines 3-9: double compute-max-and-CAS per level.
+  // Under kConditional this mirrors the production pruning in
+  // ruco/maxreg/propagate.h: a no-change recompute skips the CAS (the node
+  // already covers our subtree), and a won CAS skips the second round (the
+  // winning CAS read both children after our child update, so it covers
+  // us).  kAlwaysTwice is the paper-literal shape.
+  const bool conditional = policy_ == maxreg::RefreshPolicy::kConditional;
   auto n = leaf;
   while (shape_.parent(n) != util::AlgorithmATreeShape::kNil) {
     n = shape_.parent(n);
@@ -38,7 +46,9 @@ sim::Op SimTreeMaxRegister::propagate(sim::Ctx& ctx,
       const Value l = co_await ctx.read(objects_[shape_.left(n)]);
       const Value r = co_await ctx.read(objects_[shape_.right(n)]);
       const Value new_value = std::max(l, r);
-      co_await ctx.cas(objects_[n], old_value, new_value);
+      if (conditional && new_value == old_value) break;
+      const Value ok = co_await ctx.cas(objects_[n], old_value, new_value);
+      if (conditional && ok != 0) break;
     }
   }
   co_return 0;
@@ -46,6 +56,13 @@ sim::Op SimTreeMaxRegister::propagate(sim::Ctx& ctx,
 
 sim::Op SimTreeMaxRegister::write_max(sim::Ctx& ctx, Value v) const {
   assert(v >= 0);
+  if (mode_ == maxreg::Faithfulness::kHelpOnDuplicate &&
+      policy_ == maxreg::RefreshPolicy::kConditional) {
+    // Root-check fast path (mirrors production): a root already >= v means
+    // every later ReadMax returns >= v, so linearize right away.  Gated on
+    // kConditional so kAlwaysTwice stays fully paper-shaped.
+    if (co_await ctx.read(objects_[shape_.root()]) >= v) co_return 0;
+  }
   const auto leaf = v < shape_.num_processes()
                         ? shape_.value_leaf(static_cast<std::uint64_t>(v))
                         : shape_.process_leaf(ctx.id());

@@ -62,7 +62,10 @@ void FArraySnapshot::update(ProcId proc, Value v) {
   const View* leaf_ptr = &arenas_[proc].back();
   const auto leaf = shape_.leaf(proc);
   runtime::step_tick();
-  nodes_[leaf].value.store(leaf_ptr);
+  // Release publishes the freshly built View behind leaf_ptr; every reader
+  // of this cell (propagate_twice's acquire child loads, scan's acquire
+  // root load) dereferences it.
+  nodes_[leaf].value.store(leaf_ptr, std::memory_order_release);
   maxreg::propagate_twice(
       shape_, nodes_, leaf,
       [this, proc](const View* l, const View* r) { return merge(proc, l, r); });
@@ -70,7 +73,7 @@ void FArraySnapshot::update(ProcId proc, Value v) {
 
 std::vector<Value> FArraySnapshot::scan(ProcId /*proc*/) const {
   runtime::step_tick();
-  const View* root = nodes_[shape_.root()].value.load();
+  const View* root = nodes_[shape_.root()].value.load(std::memory_order_acquire);
   std::vector<Value> values;
   values.reserve(root->entries.size());
   for (const Entry& e : root->entries) values.push_back(e.value);
@@ -80,7 +83,7 @@ std::vector<Value> FArraySnapshot::scan(ProcId /*proc*/) const {
 std::vector<std::pair<Value, std::uint64_t>> FArraySnapshot::scan_versions(
     ProcId /*proc*/) const {
   runtime::step_tick();
-  const View* root = nodes_[shape_.root()].value.load();
+  const View* root = nodes_[shape_.root()].value.load(std::memory_order_acquire);
   std::vector<std::pair<Value, std::uint64_t>> out;
   out.reserve(root->entries.size());
   for (const Entry& e : root->entries) out.emplace_back(e.value, e.seq);

@@ -12,10 +12,13 @@ ProdMetrics make_prod_metrics() {
   m.propagate_cas_attempts = r.counter("maxreg", "propagate_cas_attempts");
   m.propagate_cas_failures = r.counter("maxreg", "propagate_cas_failures");
   m.propagate_levels = r.counter("maxreg", "propagate_levels");
+  m.propagate_second_rounds = r.counter("maxreg", "propagate_second_rounds");
+  m.propagate_cas_skips = r.counter("maxreg", "propagate_cas_skips");
   // 32 depth buckets cover every B1-tree the value-bound shapes produce
   // (depth <= log2(k) and benches stop well short of k = 2^32).
   m.tree_descent_depth = r.histogram("maxreg", "tree_descent_depth", 32);
   m.tree_duplicate_writes = r.counter("maxreg", "tree_duplicate_writes");
+  m.tree_root_fastpath = r.counter("maxreg", "tree_root_fastpath");
   m.aac_write_abandons = r.counter("maxreg", "aac_write_abandons");
   m.aac_switches_set = r.counter("maxreg", "aac_switches_set");
   m.mcas_ops = r.counter("mcas", "ops");

@@ -18,29 +18,34 @@ std::uint64_t steps(F&& f) {
 }
 
 TEST(GoldenSteps, TreeMaxRegisterWrites) {
-  // N = 16; fresh register per case.  8 steps per level (2 attempts x 4
-  // events) + 2 leaf events.
+  // N = 16; fresh register per case.  Conditional refresh (see
+  // ruco/maxreg/propagate.h): solo, every first-round CAS wins and prunes
+  // the second round, so a level costs 4 events (node + 2 children + CAS)
+  // instead of the paper-literal 8.  Total = 1 root-fastpath read + 2 leaf
+  // events + 4 x depth.
   {
     maxreg::TreeMaxRegister r{16};
-    EXPECT_EQ(steps([&] { r.write_max(0, 0); }), 18u);  // leaf 0: depth 2
+    EXPECT_EQ(steps([&] { r.write_max(0, 0); }), 11u);  // leaf 0: depth 2
   }
   {
     maxreg::TreeMaxRegister r{16};
-    EXPECT_EQ(steps([&] { r.write_max(0, 1); }), 34u);  // depth 4
+    EXPECT_EQ(steps([&] { r.write_max(0, 1); }), 19u);  // depth 4
   }
   {
     maxreg::TreeMaxRegister r{16};
-    EXPECT_EQ(steps([&] { r.write_max(0, 15); }), 42u);  // last B1 leaf
+    EXPECT_EQ(steps([&] { r.write_max(0, 15); }), 23u);  // last B1 leaf
   }
   {
     maxreg::TreeMaxRegister r{16};
-    EXPECT_EQ(steps([&] { r.write_max(3, 100); }), 42u);  // TR leaf: depth 5
+    EXPECT_EQ(steps([&] { r.write_max(3, 100); }), 23u);  // TR leaf: depth 5
   }
   {
-    // Duplicate-operand path with helping: 1 read + full propagation.
+    // Duplicate operand with the root already covering it: the root-check
+    // fast path returns after a single read (was a full helping
+    // propagation before the fast path).
     maxreg::TreeMaxRegister r{16};
     r.write_max(0, 5);
-    EXPECT_EQ(steps([&] { r.write_max(1, 5); }), 49u);
+    EXPECT_EQ(steps([&] { r.write_max(1, 5); }), 1u);
   }
   {
     maxreg::TreeMaxRegister r{16};
@@ -67,8 +72,8 @@ TEST(GoldenSteps, UnboundedAacMaxRegister) {
 
 TEST(GoldenSteps, Counters) {
   {
-    counter::FArrayCounter c{64};  // 6 levels x 8 + leaf write
-    EXPECT_EQ(steps([&] { c.increment(9); }), 49u);
+    counter::FArrayCounter c{64};  // 6 levels x 4 (conditional) + leaf write
+    EXPECT_EQ(steps([&] { c.increment(9); }), 25u);
     EXPECT_EQ(steps([&] { (void)c.read(0); }), 1u);
   }
   {
@@ -91,8 +96,8 @@ TEST(GoldenSteps, Counters) {
 
 TEST(GoldenSteps, Snapshots) {
   {
-    snapshot::FArraySnapshot s{32};  // 5 levels x 8 + leaf write
-    EXPECT_EQ(steps([&] { s.update(7, 3); }), 41u);
+    snapshot::FArraySnapshot s{32};  // 5 levels x 4 (conditional) + leaf write
+    EXPECT_EQ(steps([&] { s.update(7, 3); }), 21u);
     EXPECT_EQ(steps([&] { (void)s.scan(0); }), 1u);
   }
   {
@@ -105,6 +110,15 @@ TEST(GoldenSteps, Snapshots) {
     EXPECT_EQ(steps([&] { s.update(0, 1); }), 1u);
     EXPECT_EQ(steps([&] { (void)s.scan(1); }), 24u);
   }
+}
+
+TEST(GoldenSteps, FArrayNoChangeSkipsCas) {
+  // Writing the value a slot already holds leaves every path node's
+  // aggregate unchanged, so conditional refresh skips all CASes: 1 leaf
+  // write + 3 reads per level (node + 2 children, no CAS).
+  farray::SumFArray a{8, 0};  // 3 levels
+  a.update(0, 5);
+  EXPECT_EQ(steps([&] { a.update(0, 5); }), 10u);
 }
 
 TEST(GoldenSteps, SoftwareMcas) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 #include "ruco/lincheck/checker.h"
@@ -13,6 +14,7 @@
 #include "ruco/maxreg/cas_max_register.h"
 #include "ruco/maxreg/lock_max_register.h"
 #include "ruco/maxreg/tree_max_register.h"
+#include "ruco/maxreg/unbounded_aac_max_register.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/runtime/thread_harness.h"
 #include "ruco/util/bits.h"
@@ -64,6 +66,24 @@ TYPED_TEST(MaxRegisterSemantics, ZeroIsAValidOperand) {
   TypeParam reg;
   reg.write_max(0, 0);
   EXPECT_EQ(reg.read_max(1), 0);
+}
+
+TYPED_TEST(MaxRegisterSemantics, NegativeOperandThrowsAndLeavesNoTrace) {
+  // Operands are non-negative by contract (kNoValue = -1 is the "empty"
+  // sentinel); rejection is release-mode behavior, not an assert.
+  TypeParam reg;
+  EXPECT_THROW(reg.write_max(0, -1), std::out_of_range);
+  EXPECT_THROW(reg.write_max(0, kNoValue), std::out_of_range);
+  EXPECT_EQ(reg.read_max(0), kNoValue) << "failed write must not publish";
+  reg.write_max(0, 3);
+  EXPECT_THROW(reg.write_max(1, -7), std::out_of_range);
+  EXPECT_EQ(reg.read_max(1), 3);
+}
+
+TEST(UnboundedAacMaxRegister, NegativeOperandThrows) {
+  UnboundedAacMaxRegister reg{20};
+  EXPECT_THROW(reg.write_max(0, -1), std::out_of_range);
+  EXPECT_EQ(reg.read_max(0), kNoValue);
 }
 
 TYPED_TEST(MaxRegisterSemantics, RepeatedSameValueIsIdempotent) {

@@ -488,8 +488,12 @@ TEST(PaperGap, PrintedVariantIsFineWithDistinctValues) {
 /// precisely to force the re-read.
 lincheck::History propagate_attempts_history(int attempts) {
   sim::Program prog;
+  // Paper-literal refresh policy: the hand-crafted schedule below indexes
+  // the exact step sequence of the printed algorithm (no root fast path, no
+  // conditional pruning).
   auto reg = std::make_shared<SimTreeMaxRegister>(
-      prog, 4, Faithfulness::kHelpOnDuplicate, attempts);
+      prog, 4, Faithfulness::kHelpOnDuplicate, attempts,
+      maxreg::RefreshPolicy::kAlwaysTwice);
   for (Value v = 1; v <= 2; ++v) {
     prog.add_process([reg, v](sim::Ctx& ctx) -> sim::Op {
       ctx.mark_invoke("WriteMax", v);

@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "ruco/farray/farray.h"
 #include "ruco/lincheck/checker.h"
 #include "ruco/lincheck/specs.h"
+#include "ruco/maxreg/tree_max_register.h"
 #include "ruco/runtime/thread_harness.h"
 #include "ruco/sim/model_checker.h"
 #include "ruco/sim/schedulers.h"
@@ -140,6 +142,53 @@ TEST(ProdMetrics, GlobalHandlesAreWired) {
   pm.maxreg_cas_attempts.add(5);
   const auto after = Registry::global().snapshot();
   EXPECT_EQ(after.find("maxreg", "cas_attempts")->value, base + 5);
+}
+
+// ------------------------------------------- propagation CAS accounting
+//
+// propagate_cas_attempts must count CASes actually issued (the ISSUE's
+// accounting fix: the old code charged 2 per level unconditionally).
+
+std::uint64_t maxreg_metric(const char* name) {
+  const auto snap = Registry::global().snapshot();
+  const MetricSnapshot* m = snap.find("maxreg", name);
+  return m == nullptr ? 0 : m->value;
+}
+
+TEST(PropagateAccounting, SoloTreeWriteIssuesOneCasPerLevel) {
+  (void)prod();  // force registration
+  maxreg::TreeMaxRegister r{16};
+  const std::uint64_t attempts = maxreg_metric("propagate_cas_attempts");
+  const std::uint64_t failures = maxreg_metric("propagate_cas_failures");
+  const std::uint64_t seconds = maxreg_metric("propagate_second_rounds");
+  const std::uint64_t skips = maxreg_metric("propagate_cas_skips");
+  r.write_max(0, 1);  // B1 leaf at depth 4
+  // Solo every first-round CAS wins: exactly one CAS per level, no second
+  // rounds, no failures, no skips.
+  EXPECT_EQ(maxreg_metric("propagate_cas_attempts"), attempts + 4);
+  EXPECT_EQ(maxreg_metric("propagate_cas_failures"), failures);
+  EXPECT_EQ(maxreg_metric("propagate_second_rounds"), seconds);
+  EXPECT_EQ(maxreg_metric("propagate_cas_skips"), skips);
+}
+
+TEST(PropagateAccounting, NoChangeRefreshSkipsEveryCas) {
+  (void)prod();
+  farray::SumFArray a{8, 0};  // 3 levels
+  a.update(0, 5);
+  const std::uint64_t attempts = maxreg_metric("propagate_cas_attempts");
+  const std::uint64_t skips = maxreg_metric("propagate_cas_skips");
+  a.update(0, 5);  // aggregate unchanged at every path node
+  EXPECT_EQ(maxreg_metric("propagate_cas_attempts"), attempts);
+  EXPECT_EQ(maxreg_metric("propagate_cas_skips"), skips + 3);
+}
+
+TEST(PropagateAccounting, RootFastPathCounted) {
+  (void)prod();
+  maxreg::TreeMaxRegister r{16};
+  r.write_max(0, 5);
+  const std::uint64_t fast = maxreg_metric("tree_root_fastpath");
+  r.write_max(1, 5);  // root already covers 5
+  EXPECT_EQ(maxreg_metric("tree_root_fastpath"), fast + 1);
 }
 
 #endif  // RUCO_NO_TELEMETRY

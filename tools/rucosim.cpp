@@ -1,6 +1,6 @@
 // rucosim: command-line driver for the execution-model toolkit.
 //
-//   rucosim adversary --target=<cas|tree|aac|uaac> --k=<K>
+//   rucosim adversary --target=<cas|tree|tree-classic|aac|uaac> --k=<K>
 //                     [--max-iter=N] [--min-active=M]
 //       Run the Theorem 3 essential-set adversary and print the iteration
 //       trace (what examples/adversary_trace does, for any target/size).
@@ -9,7 +9,7 @@
 //       Run the Theorem 1 construction against a counter and report
 //       rounds, knowledge growth, and the Lemma 3 reader probe.
 //
-//   rucosim run --target=<cas|tree|aac|uaac|lock> --k=<K> [--seed=S] [--pct]
+//   rucosim run --target=<cas|tree|tree-classic|aac|uaac|lock> --k=<K> [--seed=S] [--pct]
 //               [--show=N] [--dot]
 //               [--crash-proc=P [--crash-step=K]] [--crash-rate=PERMILLE]
 //               [--max-crashes=F] [--spurious=PERMILLE] [--fault-seed=S]
@@ -23,7 +23,7 @@
 //       linearizability check must still pass, and the faulty trace is
 //       re-verified via replay.
 //
-//   rucosim certify --target=<cas|tree|aac|uaac|lock> --k=<K>
+//   rucosim certify --target=<cas|tree|tree-classic|aac|uaac|lock> --k=<K>
 //                   [--sweep=N] [--storms=N] [--bound=B] [--jobs=N]
 //       Run the wait-freedom certifier (crash sweep + crash storms) and
 //       report the per-process step bound.  All targets but `lock` must
@@ -31,7 +31,7 @@
 //       parallelizes the sweep/storm schedules; the report is identical
 //       for any value.
 //
-//   rucosim check --target=<cas|tree|aac|uaac|lock> --k=<K>
+//   rucosim check --target=<cas|tree|tree-classic|aac|uaac|lock> --k=<K>
 //                 [--bound=B] [--max-crashes=F] [--max-execs=N]
 //                 [--por] [--jobs=N] [--legacy]
 //       Explore interleavings of the target's writers+reader program with
@@ -111,6 +111,13 @@ Args parse(int argc, char** argv) {
 ruco::simalgos::MaxRegProgram make_target(const std::string& name,
                                           std::uint32_t k) {
   if (name == "tree") return ruco::simalgos::make_tree_maxreg_program(k);
+  if (name == "tree-classic") {
+    // Paper-literal unconditional double refresh (no pruning): the
+    // reference shape for conditional-vs-classic equivalence checks.
+    return ruco::simalgos::make_tree_maxreg_program(
+        k, ruco::maxreg::Faithfulness::kHelpOnDuplicate,
+        ruco::maxreg::RefreshPolicy::kAlwaysTwice);
+  }
   if (name == "aac") {
     return ruco::simalgos::make_aac_maxreg_program(
         k, static_cast<Value>(k));
@@ -473,21 +480,21 @@ int cmd_check(const Args& args) {
 
 int usage() {
   std::cout << "usage:\n"
-               "  rucosim adversary --target=<cas|tree|aac|uaac> --k=<K>"
+               "  rucosim adversary --target=<cas|tree|tree-classic|aac|uaac> --k=<K>"
                " [--max-iter=N] [--min-active=M]\n"
                "  rucosim starve    --counter=<farray|maxreg|kcas|dcsnap>"
                " --n=<N>\n"
-               "  rucosim run       --target=<cas|tree|aac|uaac|lock> --k=<K>"
+               "  rucosim run       --target=<cas|tree|tree-classic|aac|uaac|lock> --k=<K>"
                " [--seed=S] [--pct] [--show=N] [--dot]\n"
                "                    [--crash-proc=P [--crash-step=K]]"
                " [--crash-rate=PERMILLE] [--max-crashes=F]\n"
                "                    [--spurious=PERMILLE] [--fault-seed=S]\n"
                "                    [--telemetry[=out.json]]"
                " [--perfetto[=out.trace.json]]\n"
-               "  rucosim certify   --target=<cas|tree|aac|uaac|lock> --k=<K>"
+               "  rucosim certify   --target=<cas|tree|tree-classic|aac|uaac|lock> --k=<K>"
                " [--sweep=N] [--storms=N] [--bound=B] [--jobs=N]\n"
                "                    [--progress[=N]]\n"
-               "  rucosim check     --target=<cas|tree|aac|uaac|lock> --k=<K>"
+               "  rucosim check     --target=<cas|tree|tree-classic|aac|uaac|lock> --k=<K>"
                " [--bound=B] [--max-crashes=F]\n"
                "                    [--max-execs=N] [--por] [--jobs=N]"
                " [--legacy] [--progress[=N]]"
