@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "ruco/maxreg/propagate.h"
+#include "ruco/runtime/memorder.h"
 #include "ruco/runtime/stepcount.h"
 
 namespace ruco::counter {
@@ -20,7 +21,7 @@ FArrayCounter::FArrayCounter(std::uint32_t num_processes)
 
 Value FArrayCounter::read(ProcId /*proc*/) const {
   runtime::step_tick();
-  return values_[shape_.root()].value.load(std::memory_order_acquire);
+  return values_[shape_.root()].value.load(runtime::mo_acquire);
 }
 
 void FArrayCounter::increment(ProcId proc) {
@@ -33,7 +34,7 @@ void FArrayCounter::increment(ProcId proc) {
   const auto leaf = shape_.leaf(proc);
   runtime::step_tick();
   // Release pairs with propagate_twice's acquire child loads.
-  values_[leaf].value.store(next, std::memory_order_release);
+  values_[leaf].value.store(next, runtime::mo_release);
   maxreg::propagate_twice(shape_, values_, leaf, combine_sum);
 }
 

@@ -27,6 +27,7 @@
 
 #include "ruco/core/types.h"
 #include "ruco/maxreg/propagate.h"
+#include "ruco/runtime/memorder.h"
 #include "ruco/runtime/padded.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/util/tree_shape.h"
@@ -55,7 +56,7 @@ class FArray {
     runtime::step_tick();
     // Release pairs with the acquire child loads in propagate_twice (ours
     // and every concurrent refresher's).
-    values_[leaf].value.store(v, std::memory_order_release);
+    values_[leaf].value.store(v, runtime::mo_release);
     maxreg::propagate_twice(shape_, values_, leaf, combine_);
   }
 
@@ -63,13 +64,13 @@ class FArray {
   [[nodiscard]] Value read_aggregate(ProcId /*proc*/) const {
     telemetry::prod().farray_reads.inc();
     runtime::step_tick();
-    return values_[shape_.root()].value.load(std::memory_order_acquire);
+    return values_[shape_.root()].value.load(runtime::mo_acquire);
   }
 
   /// Direct read of one slot.  One step.
   [[nodiscard]] Value read_slot(ProcId /*proc*/, std::uint32_t slot) const {
     runtime::step_tick();
-    return values_[shape_.leaf(slot)].value.load(std::memory_order_acquire);
+    return values_[shape_.leaf(slot)].value.load(runtime::mo_acquire);
   }
 
   [[nodiscard]] std::uint32_t num_slots() const noexcept { return n_; }

@@ -25,12 +25,29 @@
 // kAlwaysTwice oracle at small N (tests/hotpath_test.cpp) and the ablation
 // bench quantifies the step savings.
 //
-// Memory orders (per-site argument; DESIGN.md "Hot-path memory orders"):
-//   * node load: relaxed.  The value is used only as the CAS expected
-//     operand and for the no-change test -- never dereferenced.  A stale
-//     read is conservative: a stale expected fails the CAS (retry/round 2),
-//     and a stale value equal to the fresh combine means the node held the
-//     covering value even earlier (monotone => still covers).
+// Memory orders (per-site argument; DESIGN.md "Hot-path memory orders";
+// constants from ruco/runtime/memorder.h, which RUCO_SEQCST_ATOMICS
+// collapses to seq_cst for weak-memory targets):
+//   * node load: acquire.  Required for more than publication: the value
+//     feeds the CAS expected operand AND the decisions to skip (no-change
+//     test) or stop (won-CAS break).  Both decisions reason "the node
+//     already covers X because whoever installed this value read children
+//     at least as new as X" -- an ordering claim, not just a value claim.
+//     The acquire synchronizes-with the release CAS (or release leaf
+//     store) that installed the node value, so the installer's child reads
+//     happen-before our subsequent child loads; read-read coherence then
+//     forces our child loads to return values no older than the ones the
+//     installer combined.  That is exactly the interleaving ("combine
+//     inputs are at least as new as the node value we observed") the SC
+//     model checker exhaustively verified, so the pruning argument
+//     transfers to weak-memory hardware.  A relaxed load here is NOT
+//     sound on non-TSO machines: it may return a fresh node value while
+//     the child loads still return stale values (nothing orders them),
+//     making the no-change skip drop a sibling's contribution (e.g. a
+//     counter increment that never reaches the root) or the CAS install
+//     combine(stale children) over a newer aggregate, regressing the
+//     monotone value.  Cost of the acquire: free on x86/TSO, one ldar on
+//     ARM.
 //   * child loads: acquire.  They synchronize with the release CAS (or
 //     release leaf store) that published the child value; when T is a
 //     pointer (f-array snapshot views) the referent is dereferenced by the
@@ -38,8 +55,8 @@
 //     visible.
 //   * CAS: release on success -- publishes the combined value (and, for
 //     pointer aggregates, everything the combine wrote) to the next
-//     level's acquire child loads; relaxed on failure -- the reloaded
-//     expected is discarded (round 2 re-reads everything fresh).
+//     level's acquire node/child loads; relaxed on failure -- the
+//     reloaded expected is discarded (round 2 re-reads everything fresh).
 #pragma once
 
 #include <atomic>
@@ -48,6 +65,7 @@
 
 #include "ruco/core/types.h"
 #include "ruco/maxreg/refresh_policy.h"
+#include "ruco/runtime/memorder.h"
 #include "ruco/runtime/padded.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/telemetry/metrics.h"
@@ -82,11 +100,13 @@ void propagate_twice(const Shape& shape,
     const NodeId r = shape.right(n);
     for (int round = 0; round < 2; ++round) {
       runtime::step_tick();
-      T old_value = values[n].value.load(std::memory_order_relaxed);
+      // Acquire, not relaxed: the skip/stop decisions below need the
+      // installer's child reads to happen-before ours (see file comment).
+      T old_value = values[n].value.load(runtime::mo_acquire);
       runtime::step_tick();
-      const T lv = values[l].value.load(std::memory_order_acquire);
+      const T lv = values[l].value.load(runtime::mo_acquire);
       runtime::step_tick();
-      const T rv = values[r].value.load(std::memory_order_acquire);
+      const T rv = values[r].value.load(runtime::mo_acquire);
       const T new_value = combine(lv, rv);
       if (conditional && new_value == old_value) {
         // Pure-load level: the node already holds the covering aggregate.
@@ -96,8 +116,8 @@ void propagate_twice(const Shape& shape,
       runtime::step_tick();
       ++attempts;
       if (values[n].value.compare_exchange_strong(old_value, new_value,
-                                                  std::memory_order_release,
-                                                  std::memory_order_relaxed)) {
+                                                  runtime::mo_release,
+                                                  runtime::mo_relaxed)) {
         if (conditional) break;  // won: combine read after our child update
       } else {
         ++failures;

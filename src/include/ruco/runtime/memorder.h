@@ -1,0 +1,53 @@
+// Memory-order constants for the hand-tuned production hot paths, with a
+// seq_cst escape hatch for weakly-ordered targets.
+//
+// Every protocol atomic in the production algorithms (propagate_twice, the
+// max registers, the f-array family, the software MCAS) names its order
+// through these constants instead of the std::memory_order_* literals.  By
+// default they are exactly the literals they are named after, so the
+// default build is the weakest-order build whose per-site soundness
+// arguments live in DESIGN.md ("Hot-path engineering") and the source
+// comments.
+//
+// Configuring with -DRUCO_SEQCST_ATOMICS=ON collapses all four constants
+// to seq_cst.  Rationale (DESIGN.md "What the certification covers"): the
+// repo's certification legs validate the *protocol* -- the model checker
+// explores a sequentially consistent interleaving semantics, TSan proves
+// data-race freedom (which any std::atomic order gives by construction),
+// and CI hardware is x86/TSO -- so none of them can machine-check an
+// acquire/release choice that only misbehaves on weakly-ordered hardware
+// (ARM/POWER).  The sub-seq_cst orders are argued in writing, not machine
+// verified; deployments on weak-memory targets that prefer the verified
+// semantics over the last few percent of hot-path cost should build with
+// the flag.  CI compiles and runs the stress suites in this configuration
+// so the fallback is always green.
+//
+// Collapsing to seq_cst is always sound: seq_cst is the strongest order,
+// and a compare_exchange failure order of seq_cst is valid wherever
+// relaxed/acquire is (the failure order may never be release/acq_rel,
+// which these constants never produce for a failure operand).
+//
+// Deliberately NOT routed through these constants: process-private
+// bookkeeping (per-process sequence numbers, local counts) and
+// single-threaded construction-time stores, which are relaxed because they
+// are not part of the cross-thread protocol at all; and the telemetry
+// counters, which are racy-by-design monotone statistics.
+#pragma once
+
+#include <atomic>
+
+namespace ruco::runtime {
+
+#if defined(RUCO_SEQCST_ATOMICS)
+inline constexpr std::memory_order mo_relaxed = std::memory_order_seq_cst;
+inline constexpr std::memory_order mo_acquire = std::memory_order_seq_cst;
+inline constexpr std::memory_order mo_release = std::memory_order_seq_cst;
+inline constexpr std::memory_order mo_acq_rel = std::memory_order_seq_cst;
+#else
+inline constexpr std::memory_order mo_relaxed = std::memory_order_relaxed;
+inline constexpr std::memory_order mo_acquire = std::memory_order_acquire;
+inline constexpr std::memory_order mo_release = std::memory_order_release;
+inline constexpr std::memory_order mo_acq_rel = std::memory_order_acq_rel;
+#endif
+
+}  // namespace ruco::runtime

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ruco/runtime/backoff.h"
+#include "ruco/runtime/memorder.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/telemetry/metrics.h"
 
@@ -21,6 +22,8 @@
 // The status word is the linearization point; its decide-CAS is acq_rel so
 // the decision both publishes phase-1's acquisitions and orders phase 2
 // after every acquisition it saw.
+// Orders are named through ruco/runtime/memorder.h so RUCO_SEQCST_ATOMICS
+// can collapse them to seq_cst on weak-memory targets.
 
 namespace ruco::kcas {
 
@@ -48,13 +51,13 @@ Value McasArray::unpack_value(Word w) noexcept {
 
 void McasArray::rdcss_complete(RdcssDescriptor* d) {
   runtime::step_tick();
-  const std::uintptr_t control = d->control->load(std::memory_order_acquire);
+  const std::uintptr_t control = d->control->load(runtime::mo_acquire);
   Word parked = tag_rdcss(d);
   const Word next =
       control == d->expected_control ? d->desired : d->expected;
   runtime::step_tick();
-  d->cell->compare_exchange_strong(parked, next, std::memory_order_release,
-                                   std::memory_order_relaxed);
+  d->cell->compare_exchange_strong(parked, next, runtime::mo_release,
+                                   runtime::mo_relaxed);
 }
 
 McasArray::Word McasArray::rdcss(RdcssDescriptor* d) {
@@ -63,8 +66,8 @@ McasArray::Word McasArray::rdcss(RdcssDescriptor* d) {
     Word current = d->expected;
     runtime::step_tick();
     if (d->cell->compare_exchange_strong(current, tag_rdcss(d),
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_acquire)) {
+                                         runtime::mo_acq_rel,
+                                         runtime::mo_acquire)) {
       rdcss_complete(d);
       return d->expected;
     }
@@ -82,7 +85,7 @@ McasArray::Word McasArray::rdcss(RdcssDescriptor* d) {
 
 bool McasArray::mcas_help(ProcId proc, McasDescriptor* d) {
   runtime::step_tick();
-  if (d->status.load(std::memory_order_acquire) ==
+  if (d->status.load(runtime::mo_acquire) ==
       static_cast<std::uintptr_t>(Status::kUndecided)) {
     // Phase 1: acquire every word, wedging our descriptor in, unless the
     // operation gets decided under us (the RDCSS control check) or a word
@@ -126,20 +129,20 @@ bool McasArray::mcas_help(ProcId proc, McasDescriptor* d) {
         static_cast<std::uintptr_t>(Status::kUndecided);
     runtime::step_tick();
     d->status.compare_exchange_strong(expected_status, desired_status,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire);
+                                      runtime::mo_acq_rel,
+                                      runtime::mo_acquire);
   }
   // Phase 2: release every word to its decided value.
   runtime::step_tick();
   const bool success =
-      d->status.load(std::memory_order_acquire) ==
+      d->status.load(runtime::mo_acquire) ==
       static_cast<std::uintptr_t>(Status::kSucceeded);
   for (const McasWord& word : d->words) {
     Word parked = tag_mcas(d);
     runtime::step_tick();
     cells_[word.index].value.compare_exchange_strong(
         parked, pack_value(success ? word.desired : word.expected),
-        std::memory_order_release, std::memory_order_relaxed);
+        runtime::mo_release, runtime::mo_relaxed);
   }
   return success;
 }
@@ -148,7 +151,7 @@ Value McasArray::read(ProcId proc, std::uint32_t index) {
   runtime::Backoff backoff;
   for (;;) {
     runtime::step_tick();
-    const Word w = cells_[index].value.load(std::memory_order_acquire);
+    const Word w = cells_[index].value.load(runtime::mo_acquire);
     if (is_rdcss(w)) {
       telemetry::prod().mcas_rdcss_helps.inc();
       rdcss_complete(as_rdcss(w));

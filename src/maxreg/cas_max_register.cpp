@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ruco/runtime/backoff.h"
+#include "ruco/runtime/memorder.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/telemetry/metrics.h"
 
@@ -11,7 +12,7 @@ namespace ruco::maxreg {
 
 Value CasMaxRegister::read_max(ProcId /*proc*/) const {
   runtime::step_tick();
-  return cell_.value.load(std::memory_order_acquire);
+  return cell_.value.load(runtime::mo_acquire);
 }
 
 void CasMaxRegister::write_max(ProcId /*proc*/, Value v) {
@@ -25,7 +26,7 @@ void CasMaxRegister::write_max(ProcId /*proc*/, Value v) {
   // value only feeds the monotone `current < v` retest, where per-location
   // coherence already orders it after every value this thread has seen.
   runtime::step_tick();
-  Value current = cell_.value.load(std::memory_order_relaxed);
+  Value current = cell_.value.load(runtime::mo_relaxed);
   // Batched telemetry: tally the CAS loop in locals and publish once, so a
   // contended retry burst costs one counter write, not one per attempt.
   std::uint64_t attempts = 0;
@@ -35,8 +36,8 @@ void CasMaxRegister::write_max(ProcId /*proc*/, Value v) {
     runtime::step_tick();
     ++attempts;
     if (cell_.value.compare_exchange_weak(current, v,
-                                          std::memory_order_release,
-                                          std::memory_order_relaxed)) {
+                                          runtime::mo_release,
+                                          runtime::mo_relaxed)) {
       won = true;
       break;
     }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ruco/maxreg/propagate.h"
+#include "ruco/runtime/memorder.h"
 #include "ruco/runtime/stepcount.h"
 #include "ruco/telemetry/metrics.h"
 
@@ -24,7 +25,7 @@ TreeMaxRegister::TreeMaxRegister(std::uint32_t num_processes,
 
 Value TreeMaxRegister::read_max(ProcId /*proc*/) const {
   runtime::step_tick();
-  return values_[shape_.root()].value.load(std::memory_order_acquire);
+  return values_[shape_.root()].value.load(runtime::mo_acquire);
 }
 
 void TreeMaxRegister::write_max(ProcId proc, Value v) {
@@ -39,7 +40,7 @@ void TreeMaxRegister::write_max(ProcId proc, Value v) {
     // Not applied in kAsPrinted mode, which reproduces the paper's literal
     // pseudocode.
     runtime::step_tick();
-    if (values_[shape_.root()].value.load(std::memory_order_acquire) >= v) {
+    if (values_[shape_.root()].value.load(runtime::mo_acquire) >= v) {
       telemetry::prod().tree_root_fastpath.inc();
       return;
     }
@@ -50,7 +51,7 @@ void TreeMaxRegister::write_max(ProcId proc, Value v) {
   telemetry::prod().tree_descent_depth.record(shape_.depth(leaf));
   runtime::step_tick();
   const Value old_value =
-      values_[leaf].value.load(std::memory_order_acquire);
+      values_[leaf].value.load(runtime::mo_acquire);
   if (v <= old_value) {
     // Another write of >= v already reached this leaf.  The paper's printed
     // code returns here; without helping, the other write may not have
@@ -63,7 +64,7 @@ void TreeMaxRegister::write_max(ProcId proc, Value v) {
     return;
   }
   runtime::step_tick();
-  values_[leaf].value.store(v, std::memory_order_release);
+  values_[leaf].value.store(v, runtime::mo_release);
   propagate_twice(shape_, values_, leaf, combine_max);
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ruco/maxreg/propagate.h"
+#include "ruco/runtime/memorder.h"
 #include "ruco/runtime/stepcount.h"
 
 namespace ruco::snapshot {
@@ -65,7 +66,7 @@ void FArraySnapshot::update(ProcId proc, Value v) {
   // Release publishes the freshly built View behind leaf_ptr; every reader
   // of this cell (propagate_twice's acquire child loads, scan's acquire
   // root load) dereferences it.
-  nodes_[leaf].value.store(leaf_ptr, std::memory_order_release);
+  nodes_[leaf].value.store(leaf_ptr, runtime::mo_release);
   maxreg::propagate_twice(
       shape_, nodes_, leaf,
       [this, proc](const View* l, const View* r) { return merge(proc, l, r); });
@@ -73,7 +74,7 @@ void FArraySnapshot::update(ProcId proc, Value v) {
 
 std::vector<Value> FArraySnapshot::scan(ProcId /*proc*/) const {
   runtime::step_tick();
-  const View* root = nodes_[shape_.root()].value.load(std::memory_order_acquire);
+  const View* root = nodes_[shape_.root()].value.load(runtime::mo_acquire);
   std::vector<Value> values;
   values.reserve(root->entries.size());
   for (const Entry& e : root->entries) values.push_back(e.value);
@@ -83,7 +84,7 @@ std::vector<Value> FArraySnapshot::scan(ProcId /*proc*/) const {
 std::vector<std::pair<Value, std::uint64_t>> FArraySnapshot::scan_versions(
     ProcId /*proc*/) const {
   runtime::step_tick();
-  const View* root = nodes_[shape_.root()].value.load(std::memory_order_acquire);
+  const View* root = nodes_[shape_.root()].value.load(runtime::mo_acquire);
   std::vector<std::pair<Value, std::uint64_t>> out;
   out.reserve(root->entries.size());
   for (const Entry& e : root->entries) out.emplace_back(e.value, e.seq);
