@@ -9,18 +9,26 @@
 // arguments live in DESIGN.md ("Hot-path engineering") and the source
 // comments.
 //
+// The sub-seq_cst orders are machine-verified by src/wmm (docs/WEAKMEM.md):
+// an RC11 axiomatic model checker enumerates every weak-memory-consistent
+// execution of the protocol kernels written against these constants, the
+// kernel invariants hold over all of them at the shipped orders, and the
+// mutation driver proves every load-bearing site minimal -- weakening any
+// one of them to relaxed exhibits a concrete violating execution (run
+// `rucosim wmm`; CI job `weakmem`).
+//
 // Configuring with -DRUCO_SEQCST_ATOMICS=ON collapses all four constants
 // to seq_cst.  Rationale (DESIGN.md "What the certification covers"): the
-// repo's certification legs validate the *protocol* -- the model checker
-// explores a sequentially consistent interleaving semantics, TSan proves
+// runtime certification legs validate the *protocol* -- the interleaving
+// model checker explores sequentially consistent semantics, TSan proves
 // data-race freedom (which any std::atomic order gives by construction),
-// and CI hardware is x86/TSO -- so none of them can machine-check an
-// acquire/release choice that only misbehaves on weakly-ordered hardware
-// (ARM/POWER).  The sub-seq_cst orders are argued in writing, not machine
-// verified; deployments on weak-memory targets that prefer the verified
-// semantics over the last few percent of hot-path cost should build with
-// the flag.  CI compiles and runs the stress suites in this configuration
-// so the fallback is always green.
+// and CI hardware is x86/TSO -- so a deployment that wants the hot paths
+// to run under exactly the semantics those legs explored can buy it for
+// the last few percent of hot-path cost.  The collapse claim is itself
+// machine-verified: under the flag the wmm litmus battery written against
+// these constants loses exactly its designated weak outcomes.  CI compiles
+// and runs the stress suites plus the wmm suite in this configuration so
+// the fallback is always green.
 //
 // Collapsing to seq_cst is always sound: seq_cst is the strongest order,
 // and a compare_exchange failure order of seq_cst is valid wherever

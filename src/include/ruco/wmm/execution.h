@@ -1,0 +1,189 @@
+// RC11-style axiomatic execution graphs for the weak-memory model checker.
+//
+// An execution is a set of events (one per dynamic memory access, fence,
+// or location initialiser) together with three primitive relations:
+//
+//   sb  -- sequenced-before: program order within each thread, derived
+//          from (thread, index) and never stored explicitly;
+//   rf  -- reads-from: every load (including the read part of a CAS)
+//          names the store whose value it observed;
+//   mo  -- modification order: a total order on the stores of each
+//          atomic location, kept as the per-location `stores()` list.
+//
+// From those the graph derives happens-before (sb plus synchronizes-with
+// from release/acquire edges, release sequences, and fences) and the
+// extended coherence order eco = (rf | mo | fr)+, and `consistent()`
+// decides the RC11 axioms:
+//
+//   COHERENCE  irreflexive(hb ; eco?)       -- per-location SC;
+//   ATOMICITY  every RMW reads its immediate mo-predecessor;
+//   SC         acyclic(psc)                 -- the RC11 partial-SC axiom
+//              over seq_cst accesses and fences (psc_base | psc_F);
+//   NO-THIN-AIR acyclic(sb | rf)            -- holds by construction: the
+//              explorer only lets loads read stores that already exist,
+//              which is complete for RC11 exactly *because* RC11 forbids
+//              porf cycles (every consistent graph has a porf-respecting
+//              generation order).
+//
+// Non-atomic ("plain") locations carry no mo; conflicting plain accesses
+// unordered by hb are a data race, surfaced by `race()` as a violation
+// (this is what makes "torn descriptor read" machine-checkable).
+//
+// Graphs are tiny by design (kMaxEvents = 64) so every derived relation
+// is a vector of uint64_t row bitmasks and the axiom check is a handful
+// of bitset transitive closures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ruco/core/types.h"
+
+namespace ruco::wmm {
+
+using ruco::Value;
+using EventId = std::uint32_t;
+using LocId = std::uint32_t;
+using ThreadId = std::uint32_t;
+
+inline constexpr EventId kNoEvent = static_cast<EventId>(-1);
+inline constexpr ThreadId kInitThread = static_cast<ThreadId>(-1);
+inline constexpr std::size_t kMaxEvents = 64;
+
+enum class EventKind : std::uint8_t {
+  kInit,        // per-location initial store (one per location, hb-first)
+  kLoad,        // atomic load; also a failed CAS (cas_fail flag set)
+  kStore,       // atomic store
+  kRmw,         // successful CAS: one event with a read and a write part
+  kFence,       // memory fence
+  kPlainLoad,   // non-atomic load (race-checked, value = hb-maximal write)
+  kPlainStore,  // non-atomic store (race-checked)
+};
+
+const char* to_string(EventKind kind);
+std::string to_string(std::memory_order order);
+
+/// Static description of one shared location in a litmus program.
+struct LocInfo {
+  std::string name;
+  Value init = 0;
+  bool atomic = true;
+};
+
+struct Event {
+  EventId id = 0;
+  ThreadId thread = kInitThread;
+  std::uint32_t index = 0;  // program-order position within the thread
+  EventKind kind = EventKind::kInit;
+  LocId loc = 0;
+  std::memory_order order = std::memory_order_relaxed;
+  Value value_read = 0;     // loads, RMWs (read part), plain loads
+  Value value_written = 0;  // stores, RMWs (write part), inits, plain stores
+  EventId rf = kNoEvent;    // source store for loads / RMW read parts
+  bool cas_fail = false;    // this kLoad is the read of a failed CAS
+
+  bool is_read() const {
+    return kind == EventKind::kLoad || kind == EventKind::kRmw ||
+           kind == EventKind::kPlainLoad;
+  }
+  bool is_write() const {
+    return kind == EventKind::kInit || kind == EventKind::kStore ||
+           kind == EventKind::kRmw || kind == EventKind::kPlainStore;
+  }
+  bool has_loc() const { return kind != EventKind::kFence; }
+};
+
+class Graph {
+ public:
+  /// `locs` must outlive the graph (it lives in the owning Program).
+  /// Creates one kInit event per location.
+  explicit Graph(const std::vector<LocInfo>* locs);
+
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<LocInfo>& locations() const { return *locs_; }
+  std::size_t size() const { return events_.size(); }
+  bool can_add_event() const { return events_.size() < kMaxEvents; }
+
+  /// Stores of `loc` in modification order (atomic locations, init first)
+  /// or creation order (plain locations, where no mo exists).
+  const std::vector<EventId>& stores(LocId loc) const { return stores_[loc]; }
+
+  /// mo-final value of an atomic location (creation-last for plain ones;
+  /// only meaningful when the graph is race-free).
+  Value final_value(LocId loc) const;
+
+  /// The value sequence the location's modification order writes,
+  /// including the initial value -- the "history" invariants range over.
+  std::vector<Value> mo_values(LocId loc) const;
+
+  /// The RMW that reads from `store`, or kNoEvent.  RC11 ATOMICITY allows
+  /// at most one; the explorer uses this to prune duplicate CAS winners.
+  EventId rmw_reader(LocId loc, EventId store) const;
+
+  /// True if inserting a store at mo position `pos` (1..stores.size())
+  /// would not split an RMW from its mo-immediate source.
+  bool store_pos_ok(LocId loc, std::size_t pos) const;
+
+  // -- event construction (explorer only) --------------------------------
+  // Each returns the new event id.  hb rows are computed eagerly at
+  // creation: an event's happens-before past is immutable in RC11 once
+  // its rf edge is fixed, because sw sources always precede the event.
+  EventId add_load(ThreadId t, std::uint32_t index, LocId loc,
+                   std::memory_order order, EventId rf, bool cas_fail);
+  EventId add_store(ThreadId t, std::uint32_t index, LocId loc,
+                    std::memory_order order, Value v, std::size_t mo_pos);
+  EventId add_rmw(ThreadId t, std::uint32_t index, LocId loc,
+                  std::memory_order order, EventId rf, Value desired);
+  EventId add_fence(ThreadId t, std::uint32_t index, std::memory_order order);
+  EventId add_plain_store(ThreadId t, std::uint32_t index, LocId loc, Value v);
+  EventId add_plain_load(ThreadId t, std::uint32_t index, LocId loc);
+
+  /// RC11 consistency of the (possibly partial) graph.  Sound to prune
+  /// on: all derived relations only grow under extension, so a violation
+  /// in a prefix persists in every completion.
+  bool consistent() const;
+
+  /// First data race on a plain location, rendered, or nullopt.
+  std::optional<std::string> race() const;
+
+  /// Canonical serialisation: identical for any two graphs that differ
+  /// only in event creation order.  Used both to memoise DFS states and
+  /// to deduplicate complete executions.
+  std::string signature() const;
+
+  /// Human-readable dump: per-thread event listing plus per-location
+  /// modification orders.  This is what violation reports embed.
+  std::string render() const;
+
+  /// hb bitmask of strict predecessors of `e` (exposed for invariants).
+  std::uint64_t hb_mask(EventId e) const { return hb_[e]; }
+
+ private:
+  EventId new_event(ThreadId t, std::uint32_t index, EventKind kind,
+                    LocId loc, std::memory_order order);
+  void seed_hb(Event& e);                   // sb + init edges
+  void add_acquire_edges(Event& e);         // sw into an acquire read
+  std::uint64_t release_heads(EventId store) const;
+  std::string label(EventId e) const;
+
+  const std::vector<LocInfo>* locs_;
+  std::vector<Event> events_;
+  std::vector<std::vector<EventId>> stores_;  // per location
+  std::vector<std::uint64_t> hb_;             // strict hb predecessors
+  std::vector<EventId> thread_last_;          // last event per thread
+  std::uint64_t init_mask_ = 0;
+};
+
+inline bool is_release_order(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+inline bool is_acquire_order(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+}  // namespace ruco::wmm

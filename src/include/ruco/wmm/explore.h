@@ -1,0 +1,87 @@
+// Exhaustive RC11 exploration of a wmm::Program.
+//
+// The explorer is a DFS over partial execution graphs.  At each state it
+// re-runs every unfinished thread body against its replay script to get
+// that thread's next operation, then branches over the operation's
+// axiomatically-possible results:
+//
+//   atomic load   -- one branch per store of the location (rf choice);
+//   CAS           -- per store: success branch when the value matches
+//                    (write placed mo-adjacent to the source, skipped if
+//                    another RMW already reads it -- ATOMICITY), failure
+//                    branch otherwise (a load at the failure order);
+//   atomic store  -- one branch per modification-order insertion point;
+//   fence / plain -- deterministic, single branch.
+//
+// Children that violate an RC11 axiom are pruned (sound: the derived
+// relations only grow under extension).  States are memoised by the
+// graph's canonical signature, so schedules that reach the same graph
+// are merged and "executions" counts *distinct consistent executions*,
+// not interleavings.  Restricting loads to already-created stores is
+// complete for RC11 because consistent graphs are (sb u rf)-acyclic --
+// see execution.h.
+//
+// Two violation classes are reported, each with a rendered execution:
+//   DataRace  -- conflicting unordered plain accesses (found mid-search);
+//   Invariant -- a user predicate failed on a complete consistent
+//                execution (lost increment, monotonicity regression, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ruco/wmm/program.h"
+
+namespace ruco::wmm {
+
+struct Violation {
+  std::string kind;     // "data-race" | "invariant"
+  std::string message;  // what failed
+  std::string dump;     // rendered execution graph
+};
+
+/// Checked on every complete consistent execution; return a non-empty
+/// message to report a violation.
+using Invariant = std::function<std::string(const Graph&)>;
+
+struct ExploreOptions {
+  Invariant invariant;
+  std::size_t max_violations = 4;   // stop the search after this many
+  std::uint64_t max_states = 2'000'000;  // safety valve
+};
+
+struct ExploreResult {
+  std::uint64_t executions = 0;  // distinct complete consistent executions
+  std::uint64_t states = 0;      // distinct partial graphs visited
+  std::set<std::vector<Value>> outcomes;      // observe() tuples
+  std::set<std::vector<Value>> final_states;  // final value per location
+  std::set<std::vector<Value>> joint;         // outcomes ++ final_states
+  std::vector<Violation> violations;
+  std::uint64_t violation_count = 0;  // including ones past max_violations
+  bool complete = true;               // state-space fully explored
+
+  bool ok() const { return violation_count == 0; }
+};
+
+ExploreResult explore(const Program& program, const ExploreOptions& options);
+inline ExploreResult explore(const Program& program) {
+  return explore(program, ExploreOptions{});
+}
+
+/// Reference executor: the same Program under *interleaving* sequential
+/// consistency (one global memory, operations atomic, no reordering).
+/// Used by the cross-validation tests: for all-seq_cst programs the RC11
+/// explorer must produce exactly this outcome set.
+struct ScResult {
+  std::uint64_t executions = 0;  // deduplicated complete runs
+  std::set<std::vector<Value>> outcomes;
+  std::set<std::vector<Value>> final_states;
+  std::set<std::vector<Value>> joint;
+};
+
+ScResult explore_sc(const Program& program);
+
+}  // namespace ruco::wmm

@@ -1,0 +1,53 @@
+// Litmus-test batteries for the RC11 explorer.
+//
+// Two suites:
+//
+//   classic_battery()    -- the textbook programs (SB, MP, LB, CoRR,
+//                           IRIW, 2+2W, R) with their *exact* RC11
+//                           allowed-outcome sets, written against
+//                           std::memory_order_* literals.  These validate
+//                           the executor itself: any deviation -- an
+//                           outcome missing or an extra one -- is an
+//                           executor bug, not a program bug.
+//
+//   handtuned_battery()  -- the same shapes written against the
+//                           `runtime::mo_*` constants the production hot
+//                           paths use.  Each carries the designated weak
+//                           outcome that the hand-tuned orders permit;
+//                           under -DRUCO_SEQCST_ATOMICS=ON the constants
+//                           collapse to seq_cst and `allowed` (computed
+//                           at compile time for the active configuration)
+//                           drops exactly those outcomes -- machine-
+//                           verifying memorder.h's fallback claim.
+//
+// Outcomes are *joint* tuples: every observe() value in thread order,
+// followed by the final value of every location in declaration order.
+// The joint form is what makes tests like R expressible, where the
+// forbidden behaviour is a correlation between a read and a final state.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ruco/wmm/program.h"
+
+namespace ruco::wmm {
+
+struct Litmus {
+  std::string name;
+  std::string description;
+  Program program;
+  /// Exact expected joint-outcome set under RC11 for the configuration
+  /// this library was compiled in.
+  std::vector<std::vector<Value>> allowed;
+  /// The designated weak-behaviour outcome: present in the default
+  /// build's `allowed`, absent under RUCO_SEQCST_ATOMICS.  Empty for
+  /// programs whose outcome set does not depend on the configuration.
+  std::optional<std::vector<Value>> weak_outcome;
+};
+
+std::vector<Litmus> classic_battery();
+std::vector<Litmus> handtuned_battery();
+
+}  // namespace ruco::wmm

@@ -1,0 +1,276 @@
+#include "ruco/wmm/explore.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace ruco::wmm {
+
+namespace {
+
+using Scripts = std::vector<std::vector<OpRecord>>;
+
+class Search {
+ public:
+  Search(const Program& program, const ExploreOptions& options)
+      : prog_{program}, opts_{options} {}
+
+  ExploreResult run() {
+    Graph root{&prog_.locations()};
+    Scripts scripts(prog_.num_threads());
+    visit(root, scripts);
+    return std::move(result_);
+  }
+
+ private:
+  void visit(const Graph& g, Scripts& scripts) {
+    if (aborted_) return;
+    if (!seen_states_.insert(g.signature()).second) return;
+    if (++result_.states > opts_.max_states) {
+      result_.complete = false;
+      aborted_ = true;
+      return;
+    }
+    bool all_done = true;
+    for (ThreadId t = 0; t < prog_.num_threads(); ++t) {
+      const Program::ThreadStep step = prog_.run_thread(t, scripts[t]);
+      if (step.completed) continue;
+      all_done = false;
+      expand(g, scripts, t, step.op);
+      if (aborted_) return;
+    }
+    if (all_done) finish(g, scripts);
+  }
+
+  void expand(const Graph& g, Scripts& scripts, ThreadId t,
+              const OpDesc& op) {
+    const auto index = static_cast<std::uint32_t>(scripts[t].size());
+    switch (op.kind) {
+      case EventKind::kLoad: {
+        for (EventId s : g.stores(op.loc)) {
+          Graph child = g;
+          child.add_load(t, index, op.loc, op.order, s, false);
+          descend(child, scripts, t,
+                  {op, {g.events()[s].value_written, false}});
+        }
+        break;
+      }
+      case EventKind::kRmw: {
+        for (EventId s : g.stores(op.loc)) {
+          const Value v = g.events()[s].value_written;
+          Graph child = g;
+          if (v == op.expected) {
+            // A strong CAS that reads its expected value must succeed,
+            // so it must be mo-adjacent to the source; if another RMW
+            // already reads `s` this rf choice has no consistent
+            // completion at all.
+            if (g.rmw_reader(op.loc, s) != kNoEvent) continue;
+            child.add_rmw(t, index, op.loc, op.order, s, op.store_value);
+            descend(child, scripts, t, {op, {v, true}});
+          } else {
+            child.add_load(t, index, op.loc, op.fail_order, s, true);
+            descend(child, scripts, t, {op, {v, false}});
+          }
+        }
+        break;
+      }
+      case EventKind::kStore: {
+        const std::size_t slots = g.stores(op.loc).size();
+        for (std::size_t pos = 1; pos <= slots; ++pos) {
+          if (!g.store_pos_ok(op.loc, pos)) continue;
+          Graph child = g;
+          child.add_store(t, index, op.loc, op.order, op.store_value, pos);
+          descend(child, scripts, t, {op, {}});
+        }
+        break;
+      }
+      case EventKind::kFence: {
+        Graph child = g;
+        child.add_fence(t, index, op.order);
+        descend(child, scripts, t, {op, {}});
+        break;
+      }
+      case EventKind::kPlainStore: {
+        Graph child = g;
+        child.add_plain_store(t, index, op.loc, op.store_value);
+        descend(child, scripts, t, {op, {}});
+        break;
+      }
+      case EventKind::kPlainLoad: {
+        Graph child = g;
+        const EventId e = child.add_plain_load(t, index, op.loc);
+        descend(child, scripts, t,
+                {op, {child.events()[e].value_read, false}});
+        break;
+      }
+      case EventKind::kInit:
+        throw std::logic_error{"wmm: body issued an init event"};
+    }
+  }
+
+  void descend(const Graph& child, Scripts& scripts, ThreadId t,
+               OpRecord record) {
+    if (!child.consistent()) return;  // silent prune: not an execution
+    if (auto racy = child.race()) {
+      report("data-race", *racy, child);
+      return;  // a racy program has undefined behaviour; stop this branch
+    }
+    if (aborted_) return;
+    scripts[t].push_back(std::move(record));
+    visit(child, scripts);
+    scripts[t].pop_back();
+  }
+
+  void finish(const Graph& g, const Scripts& scripts) {
+    ++result_.executions;
+    std::vector<Value> obs;
+    for (ThreadId t = 0; t < prog_.num_threads(); ++t) {
+      const auto thread_obs = prog_.collect_observations(t, scripts[t]);
+      obs.insert(obs.end(), thread_obs.begin(), thread_obs.end());
+    }
+    std::vector<Value> finals;
+    for (LocId l = 0; l < g.locations().size(); ++l) {
+      finals.push_back(g.final_value(l));
+    }
+    std::vector<Value> joint = obs;
+    joint.insert(joint.end(), finals.begin(), finals.end());
+    result_.outcomes.insert(std::move(obs));
+    result_.final_states.insert(std::move(finals));
+    result_.joint.insert(std::move(joint));
+    if (opts_.invariant) {
+      const std::string msg = opts_.invariant(g);
+      if (!msg.empty()) report("invariant", msg, g);
+    }
+  }
+
+  void report(const std::string& kind, const std::string& message,
+              const Graph& g) {
+    ++result_.violation_count;
+    if (result_.violations.size() < opts_.max_violations) {
+      result_.violations.push_back(Violation{kind, message, g.render()});
+    }
+    if (result_.violation_count >= opts_.max_violations) {
+      aborted_ = true;
+      result_.complete = false;
+    }
+  }
+
+  const Program& prog_;
+  const ExploreOptions& opts_;
+  ExploreResult result_;
+  std::unordered_set<std::string> seen_states_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+ExploreResult explore(const Program& program, const ExploreOptions& options) {
+  Search search{program, options};
+  return search.run();
+}
+
+namespace {
+
+// Interleaving-SC reference: one flat memory, step any live thread.
+class ScSearch {
+ public:
+  explicit ScSearch(const Program& program) : prog_{program} {
+    for (const LocInfo& l : prog_.locations()) memory_.push_back(l.init);
+  }
+
+  ScResult run() {
+    Scripts scripts(prog_.num_threads());
+    visit(scripts);
+    return std::move(result_);
+  }
+
+ private:
+  std::string state_key(const Scripts& scripts) const {
+    std::ostringstream out;
+    for (Value v : memory_) out << v << ',';
+    for (const auto& script : scripts) {
+      out << '|';
+      for (const OpRecord& r : script) {
+        out << static_cast<int>(r.desc.kind) << ':' << r.result.value << ':'
+            << r.result.cas_ok << ';';
+      }
+    }
+    return out.str();
+  }
+
+  void visit(Scripts& scripts) {
+    if (!seen_.insert(state_key(scripts)).second) return;
+    bool all_done = true;
+    for (ThreadId t = 0; t < prog_.num_threads(); ++t) {
+      const Program::ThreadStep step = prog_.run_thread(t, scripts[t]);
+      if (step.completed) continue;
+      all_done = false;
+      apply(scripts, t, step.op);
+    }
+    if (all_done) finish(scripts);
+  }
+
+  void apply(Scripts& scripts, ThreadId t, const OpDesc& op) {
+    OpResult res;
+    Value saved = 0;
+    bool wrote = false;
+    switch (op.kind) {
+      case EventKind::kLoad:
+      case EventKind::kPlainLoad:
+        res.value = memory_[op.loc];
+        break;
+      case EventKind::kStore:
+      case EventKind::kPlainStore:
+        saved = memory_[op.loc];
+        wrote = true;
+        memory_[op.loc] = op.store_value;
+        break;
+      case EventKind::kRmw:
+        res.value = memory_[op.loc];
+        res.cas_ok = memory_[op.loc] == op.expected;
+        if (res.cas_ok) {
+          saved = memory_[op.loc];
+          wrote = true;
+          memory_[op.loc] = op.store_value;
+        }
+        break;
+      case EventKind::kFence:
+        break;  // SC interleavings: fences are no-ops
+      case EventKind::kInit:
+        throw std::logic_error{"wmm: body issued an init event"};
+    }
+    scripts[t].push_back(OpRecord{op, res});
+    visit(scripts);
+    scripts[t].pop_back();
+    if (wrote) memory_[op.loc] = saved;
+  }
+
+  void finish(const Scripts& scripts) {
+    ++result_.executions;
+    std::vector<Value> obs;
+    for (ThreadId t = 0; t < prog_.num_threads(); ++t) {
+      const auto thread_obs = prog_.collect_observations(t, scripts[t]);
+      obs.insert(obs.end(), thread_obs.begin(), thread_obs.end());
+    }
+    std::vector<Value> joint = obs;
+    joint.insert(joint.end(), memory_.begin(), memory_.end());
+    result_.outcomes.insert(std::move(obs));
+    result_.final_states.insert(memory_);
+    result_.joint.insert(std::move(joint));
+  }
+
+  const Program& prog_;
+  std::vector<Value> memory_;
+  ScResult result_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace
+
+ScResult explore_sc(const Program& program) {
+  ScSearch search{program};
+  return search.run();
+}
+
+}  // namespace ruco::wmm

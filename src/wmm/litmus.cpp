@@ -1,0 +1,292 @@
+#include "ruco/wmm/litmus.h"
+
+#include <utility>
+
+#include "ruco/runtime/memorder.h"
+
+namespace ruco::wmm {
+
+namespace {
+
+using std::memory_order_acquire;
+using std::memory_order_relaxed;
+using std::memory_order_release;
+using std::memory_order_seq_cst;
+
+// Store-buffering: both threads publish then read the other's flag.
+// The weak outcome is both loads missing both stores: (0,0).
+Litmus make_sb(std::string name, std::memory_order store_o,
+               std::memory_order load_o, bool sc_outcomes) {
+  Litmus lit;
+  lit.name = std::move(name);
+  lit.description = "store buffering (Dekker core)";
+  auto x = lit.program.atomic<Value>("x", 0);
+  auto y = lit.program.atomic<Value>("y", 0);
+  lit.program.thread([=] {
+    x.store(1, store_o);
+    observe(y.load(load_o));
+  });
+  lit.program.thread([=] {
+    y.store(1, store_o);
+    observe(x.load(load_o));
+  });
+  // Joint tuples: (r0, r1, final x, final y).
+  lit.allowed = {{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 1, 1}};
+  if (!sc_outcomes) lit.allowed.push_back({0, 0, 1, 1});
+  return lit;
+}
+
+// Message passing: data published, then flag; consumer reads flag then
+// data.  The weak outcome is flag seen but data stale: (1,0).
+Litmus make_mp(std::string name, std::memory_order data_o,
+               std::memory_order flag_store_o, std::memory_order flag_load_o,
+               bool ordered) {
+  Litmus lit;
+  lit.name = std::move(name);
+  lit.description = "message passing (publish data, raise flag)";
+  auto data = lit.program.atomic<Value>("data", 0);
+  auto flag = lit.program.atomic<Value>("flag", 0);
+  lit.program.thread([=] {
+    data.store(1, data_o);
+    flag.store(1, flag_store_o);
+  });
+  lit.program.thread([=] {
+    observe(flag.load(flag_load_o));
+    observe(data.load(data_o));
+  });
+  // Joint tuples: (r_flag, r_data, final data, final flag).
+  lit.allowed = {{0, 0, 1, 1}, {0, 1, 1, 1}, {1, 1, 1, 1}};
+  if (!ordered) lit.allowed.push_back({1, 0, 1, 1});
+  return lit;
+}
+
+// IRIW: two writers, two readers observing the writes in opposite
+// orders.  The weak outcome (1,0,1,0) needs the writes to propagate in
+// different orders to the two readers.
+Litmus make_iriw(std::string name, std::memory_order store_o,
+                 std::memory_order load_o, bool sc_outcomes) {
+  Litmus lit;
+  lit.name = std::move(name);
+  lit.description = "independent reads of independent writes";
+  auto x = lit.program.atomic<Value>("x", 0);
+  auto y = lit.program.atomic<Value>("y", 0);
+  lit.program.thread([=] { x.store(1, store_o); });
+  lit.program.thread([=] { y.store(1, store_o); });
+  lit.program.thread([=] {
+    observe(x.load(load_o));
+    observe(y.load(load_o));
+  });
+  lit.program.thread([=] {
+    observe(y.load(load_o));
+    observe(x.load(load_o));
+  });
+  // Joint tuples: (r0, r1, r2, r3, final x, final y) -- everything but
+  // the split-order observation is allowed even under SC.
+  for (Value a = 0; a <= 1; ++a) {
+    for (Value b = 0; b <= 1; ++b) {
+      for (Value c = 0; c <= 1; ++c) {
+        for (Value d = 0; d <= 1; ++d) {
+          if (sc_outcomes && a == 1 && b == 0 && c == 1 && d == 0) continue;
+          lit.allowed.push_back({a, b, c, d, 1, 1});
+        }
+      }
+    }
+  }
+  return lit;
+}
+
+// 2+2W: opposing store pairs; the weak outcome is both locations ending
+// on their *first* store, which needs a po/mo cycle SC forbids.
+Litmus make_2plus2w(std::string name, std::memory_order store_o,
+                    bool sc_outcomes) {
+  Litmus lit;
+  lit.name = std::move(name);
+  lit.description = "2+2W (opposing store pairs)";
+  auto x = lit.program.atomic<Value>("x", 0);
+  auto y = lit.program.atomic<Value>("y", 0);
+  lit.program.thread([=] {
+    x.store(1, store_o);
+    y.store(2, store_o);
+  });
+  lit.program.thread([=] {
+    y.store(1, store_o);
+    x.store(2, store_o);
+  });
+  // Joint tuples: (final x, final y).
+  lit.allowed = {{1, 2}, {2, 1}, {2, 2}};
+  if (!sc_outcomes) lit.allowed.push_back({1, 1});
+  return lit;
+}
+
+// R: a store pair racing a store+load; the weak outcome correlates the
+// mo-final value of y with a stale read of x.
+Litmus make_r(std::string name, std::memory_order store_o,
+              std::memory_order load_o, bool sc_outcomes) {
+  Litmus lit;
+  lit.name = std::move(name);
+  lit.description = "R (store pair vs store+load)";
+  auto x = lit.program.atomic<Value>("x", 0);
+  auto y = lit.program.atomic<Value>("y", 0);
+  lit.program.thread([=] {
+    x.store(1, store_o);
+    y.store(1, store_o);
+  });
+  lit.program.thread([=] {
+    y.store(2, store_o);
+    observe(x.load(load_o));
+  });
+  // Joint tuples: (r, final x, final y); weak outcome r=0 with y=2.
+  lit.allowed = {{0, 1, 1}, {1, 1, 1}, {1, 1, 2}};
+  if (!sc_outcomes) lit.allowed.push_back({0, 1, 2});
+  return lit;
+}
+
+}  // namespace
+
+std::vector<Litmus> classic_battery() {
+  std::vector<Litmus> out;
+
+  out.push_back(make_sb("SB+sc", memory_order_seq_cst, memory_order_seq_cst,
+                        /*sc_outcomes=*/true));
+  out.push_back(make_sb("SB+rel+acq", memory_order_release,
+                        memory_order_acquire, /*sc_outcomes=*/false));
+
+  out.push_back(make_mp("MP+rel+acq", memory_order_relaxed,
+                        memory_order_release, memory_order_acquire,
+                        /*ordered=*/true));
+  out.push_back(make_mp("MP+rlx", memory_order_relaxed, memory_order_relaxed,
+                        memory_order_relaxed, /*ordered=*/false));
+
+  {
+    // LB: RC11 forbids (1,1) at *every* order -- no po-future reads.
+    Litmus lit;
+    lit.name = "LB+rlx";
+    lit.description = "load buffering (porf acyclicity)";
+    auto x = lit.program.atomic<Value>("x", 0);
+    auto y = lit.program.atomic<Value>("y", 0);
+    lit.program.thread([=] {
+      observe(x.load(memory_order_relaxed));
+      y.store(1, memory_order_relaxed);
+    });
+    lit.program.thread([=] {
+      observe(y.load(memory_order_relaxed));
+      x.store(1, memory_order_relaxed);
+    });
+    lit.allowed = {{0, 0, 1, 1}, {0, 1, 1, 1}, {1, 0, 1, 1}};
+    out.push_back(std::move(lit));
+  }
+
+  {
+    // CoRR: read-read coherence -- two reads of one location may not
+    // observe its modification order backwards.
+    Litmus lit;
+    lit.name = "CoRR+rlx";
+    lit.description = "read-read coherence";
+    auto x = lit.program.atomic<Value>("x", 0);
+    lit.program.thread([=] { x.store(1, memory_order_relaxed); });
+    lit.program.thread([=] {
+      observe(x.load(memory_order_relaxed));
+      observe(x.load(memory_order_relaxed));
+    });
+    lit.allowed = {{0, 0, 1}, {0, 1, 1}, {1, 1, 1}};
+    out.push_back(std::move(lit));
+  }
+
+  out.push_back(make_iriw("IRIW+sc", memory_order_seq_cst,
+                          memory_order_seq_cst, /*sc_outcomes=*/true));
+  out.push_back(make_iriw("IRIW+rel+acq", memory_order_release,
+                          memory_order_acquire, /*sc_outcomes=*/false));
+
+  out.push_back(make_2plus2w("2+2W+sc", memory_order_seq_cst,
+                             /*sc_outcomes=*/true));
+  out.push_back(make_2plus2w("2+2W+rlx", memory_order_relaxed,
+                             /*sc_outcomes=*/false));
+
+  out.push_back(make_r("R+sc", memory_order_seq_cst, memory_order_seq_cst,
+                       /*sc_outcomes=*/true));
+  out.push_back(make_r("R+rel+acq", memory_order_release,
+                       memory_order_acquire, /*sc_outcomes=*/false));
+
+  {
+    // SB with seq_cst fences between relaxed accesses: psc_F must
+    // restore the SC outcome set.
+    Litmus lit;
+    lit.name = "SB+rlx+scfences";
+    lit.description = "store buffering fenced by seq_cst fences (psc_F)";
+    auto x = lit.program.atomic<Value>("x", 0);
+    auto y = lit.program.atomic<Value>("y", 0);
+    lit.program.thread([=] {
+      x.store(1, memory_order_relaxed);
+      fence(memory_order_seq_cst);
+      observe(y.load(memory_order_relaxed));
+    });
+    lit.program.thread([=] {
+      y.store(1, memory_order_relaxed);
+      fence(memory_order_seq_cst);
+      observe(x.load(memory_order_relaxed));
+    });
+    lit.allowed = {{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 1, 1}};
+    out.push_back(std::move(lit));
+  }
+
+  {
+    // Duelling strong CASes: ATOMICITY forces exactly one winner, and
+    // the loser must observe the winner's value.
+    Litmus lit;
+    lit.name = "CAS-duel+sc";
+    lit.description = "CAS atomicity: exactly one winner";
+    auto x = lit.program.atomic<Value>("x", 0);
+    lit.program.thread([=] {
+      Value e = 0;
+      observe(x.compare_exchange_strong(e, 1, memory_order_seq_cst,
+                                        memory_order_seq_cst)
+                  ? 1
+                  : 0);
+    });
+    lit.program.thread([=] {
+      Value e = 0;
+      observe(x.compare_exchange_strong(e, 2, memory_order_seq_cst,
+                                        memory_order_seq_cst)
+                  ? 1
+                  : 0);
+    });
+    lit.allowed = {{1, 0, 1}, {0, 1, 2}};
+    out.push_back(std::move(lit));
+  }
+
+  return out;
+}
+
+std::vector<Litmus> handtuned_battery() {
+#if defined(RUCO_SEQCST_ATOMICS)
+  constexpr bool sc = true;
+#else
+  constexpr bool sc = false;
+#endif
+  using runtime::mo_acquire;
+  using runtime::mo_relaxed;
+  using runtime::mo_release;
+
+  std::vector<Litmus> out;
+
+  out.push_back(make_sb("SB+mo", mo_release, mo_acquire, sc));
+  out.back().weak_outcome = {{0, 0, 1, 1}};
+
+  // MP at the production orders keeps its SC outcome set in *both*
+  // configurations: release/acquire is exactly what MP needs.
+  out.push_back(make_mp("MP+mo", mo_relaxed, mo_release, mo_acquire,
+                        /*ordered=*/true));
+
+  out.push_back(make_iriw("IRIW+mo", mo_release, mo_acquire, sc));
+  out.back().weak_outcome = {{1, 0, 1, 0, 1, 1}};
+
+  out.push_back(make_2plus2w("2+2W+mo", mo_release, sc));
+  out.back().weak_outcome = {{1, 1}};
+
+  out.push_back(make_r("R+mo", mo_release, mo_acquire, sc));
+  out.back().weak_outcome = {{0, 1, 2}};
+
+  return out;
+}
+
+}  // namespace ruco::wmm

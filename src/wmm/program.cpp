@@ -1,0 +1,97 @@
+#include "ruco/wmm/program.h"
+
+#include <stdexcept>
+
+namespace ruco::wmm {
+
+namespace detail {
+
+ThreadCtx*& current_ctx() {
+  thread_local ThreadCtx* ctx = nullptr;
+  return ctx;
+}
+
+OpResult ThreadCtx::issue(const OpDesc& desc) {
+  if (cursor < script->size()) {
+    const OpRecord& rec = (*script)[cursor];
+    if (!(rec.desc == desc)) {
+      throw std::logic_error{
+          "wmm: thread body diverged from its replay script; bodies must "
+          "be deterministic functions of their shared-memory reads"};
+    }
+    ++cursor;
+    return rec.result;
+  }
+  pending = desc;
+  paused = true;
+  throw PauseSignal{};
+}
+
+OpResult issue_op(const OpDesc& desc) {
+  ThreadCtx* ctx = current_ctx();
+  if (ctx == nullptr) {
+    throw std::logic_error{
+        "wmm: Atomic/Plain operation outside an explorer-run thread body"};
+  }
+  return ctx->issue(desc);
+}
+
+void record_observation(Value v) {
+  ThreadCtx* ctx = current_ctx();
+  if (ctx == nullptr) {
+    throw std::logic_error{"wmm: observe() outside a thread body"};
+  }
+  if (ctx->observations != nullptr) ctx->observations->push_back(v);
+}
+
+namespace {
+
+// RAII scope installing a ThreadCtx as the thread-local current context.
+struct CtxScope {
+  explicit CtxScope(ThreadCtx* ctx) { current_ctx() = ctx; }
+  ~CtxScope() { current_ctx() = nullptr; }
+  CtxScope(const CtxScope&) = delete;
+  CtxScope& operator=(const CtxScope&) = delete;
+};
+
+}  // namespace
+
+}  // namespace detail
+
+LocId Program::add_location(std::string name, Value init, bool atomic) {
+  if (locs_.size() >= kMaxEvents) {
+    throw std::invalid_argument{"wmm: too many locations"};
+  }
+  locs_.push_back(LocInfo{std::move(name), init, atomic});
+  return static_cast<LocId>(locs_.size() - 1);
+}
+
+Program::ThreadStep Program::run_thread(
+    ThreadId t, const std::vector<OpRecord>& script) const {
+  detail::ThreadCtx ctx;
+  ctx.script = &script;
+  detail::CtxScope scope{&ctx};
+  try {
+    bodies_[t]();
+  } catch (const PauseSignal&) {
+    return ThreadStep{false, ctx.pending};
+  }
+  if (ctx.cursor != script.size()) {
+    throw std::logic_error{
+        "wmm: thread body completed without consuming its replay script"};
+  }
+  return ThreadStep{true, OpDesc{}};
+}
+
+std::vector<Value> Program::collect_observations(
+    ThreadId t, const std::vector<OpRecord>& script) const {
+  std::vector<Value> out;
+  detail::ThreadCtx ctx;
+  ctx.script = &script;
+  ctx.observations = &out;
+  detail::CtxScope scope{&ctx};
+  bodies_[t]();  // completed thread: must not pause
+  return out;
+}
+
+}  // namespace ruco::wmm

@@ -41,13 +41,27 @@
 //       engine (differential oracle).  Prints executions, node/replay
 //       counters, pruning counters, wall time and executions/sec.
 //
+//   rucosim wmm [--dump-dir=DIR] [--max-violations=N]
+//       Run the weak-memory leg: the classic litmus battery against its
+//       exact RC11 outcome sets, the protocol kernels at the shipped
+//       runtime::mo_* orders (zero violations required, search must be
+//       complete), and the mutation driver (every weakened order site
+//       must exhibit a concrete violating execution).  --dump-dir writes
+//       rendered executions -- outcome diffs and kernel violations for
+//       failures, the refuting witness for every mutation site -- as
+//       text files for CI artifact upload.
+//
 // Exit code 0 iff every check performed passed.
+#include <cctype>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ruco/adversary/counter_adversary.h"
 #include "ruco/adversary/maxreg_adversary.h"
@@ -64,6 +78,8 @@
 #include "ruco/simalgos/sim_snapshots.h"
 #include "ruco/telemetry/sim_export.h"
 #include "ruco/telemetry/timeline.h"
+#include "ruco/wmm/kernels.h"
+#include "ruco/wmm/litmus.h"
 
 namespace {
 
@@ -478,6 +494,114 @@ int cmd_check(const Args& args) {
   return result.ok ? 0 : 1;
 }
 
+std::string wmm_slug(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+std::string wmm_joint(const std::vector<Value>& tuple) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) os << ',';
+    os << tuple[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+int cmd_wmm(const Args& args) {
+  const std::string dump_dir = args.get("dump-dir", "");
+  if (!dump_dir.empty()) std::filesystem::create_directories(dump_dir);
+  const std::size_t max_violations = args.get_u64("max-violations", 4);
+  bool all_ok = true;
+  const auto dump = [&](const std::string& slug, const std::string& text) {
+    if (dump_dir.empty()) return;
+    const std::string path = dump_dir + "/wmm_" + slug + ".txt";
+    if (write_text_file(path, text)) std::cout << "wrote " << path << "\n";
+  };
+
+  std::cout << "== litmus batteries (exact RC11 outcome sets) ==\n";
+  ruco::Table lt{{"suite", "litmus", "executions", "outcomes", "verdict"}};
+  struct Suite {
+    const char* tag;
+    std::vector<ruco::wmm::Litmus> tests;
+  };
+  const Suite suites[] = {{"classic", ruco::wmm::classic_battery()},
+                          {"handtuned", ruco::wmm::handtuned_battery()}};
+  for (const auto& suite : suites) {
+    for (const auto& lit : suite.tests) {
+      const std::set<std::vector<Value>> expected(lit.allowed.begin(),
+                                                  lit.allowed.end());
+      const auto res = ruco::wmm::explore(lit.program);
+      const bool pass = res.complete && res.ok() && res.joint == expected;
+      lt.add(suite.tag, lit.name, res.executions, res.joint.size(),
+             pass ? "ok" : "FAIL");
+      if (pass) continue;
+      all_ok = false;
+      std::ostringstream txt;
+      txt << lit.name << ": " << lit.description << "\n\n"
+          << "expected joint outcomes:\n";
+      for (const auto& t : expected) txt << "  " << wmm_joint(t) << "\n";
+      txt << "\nexplored joint outcomes:\n";
+      for (const auto& t : res.joint) txt << "  " << wmm_joint(t) << "\n";
+      for (const auto& v : res.violations) {
+        txt << "\n[" << v.kind << "] " << v.message << "\n" << v.dump;
+      }
+      dump("litmus-" + wmm_slug(lit.name), txt.str());
+    }
+  }
+  lt.print();
+
+  std::cout << "\n== protocol kernels at the shipped orders ==\n";
+  ruco::Table kt{
+      {"kernel", "executions", "states", "violations", "complete", "verdict"}};
+  for (const auto& kernel : ruco::wmm::protocol_kernels()) {
+    const auto res = ruco::wmm::check_kernel(kernel, max_violations);
+    const bool pass = res.ok() && res.complete;
+    kt.add(kernel.name, res.executions, res.states, res.violation_count,
+           res.complete ? "yes" : "NO", pass ? "ok" : "FAIL");
+    if (pass) continue;
+    all_ok = false;
+    for (std::size_t i = 0; i < res.violations.size(); ++i) {
+      const auto& v = res.violations[i];
+      dump("kernel-" + wmm_slug(kernel.name) + "-" + std::to_string(i),
+           kernel.name + " [" + v.kind + "] " + v.message + "\n\n" + v.dump);
+    }
+  }
+  kt.print();
+
+  std::cout << "\n== mutation driver (each weakened site must be refuted) ==\n";
+  ruco::Table mt{{"weakened site", "violations", "pinned", "verdict"}};
+  for (const auto& m : ruco::wmm::run_mutation_driver()) {
+    mt.add(m.id, m.violation_count, m.pr4_regression ? "PR-4" : "",
+           m.found() ? "refuted (ok)" : "NOT REFUTED (FAIL)");
+    if (!m.found()) {
+      all_ok = false;
+      continue;
+    }
+    dump("mutation-" + wmm_slug(m.id),
+         m.id + "\n" + m.note + "\n\n[" + m.sample_kind + "] " +
+             m.sample_message + "\n\n" + m.sample_dump);
+  }
+  mt.print();
+
+  std::cout << "\nverdict: "
+            << (all_ok ? "ok (shipped orders clean, every weakened site "
+                         "exhibits a violating execution)"
+                       : "FAIL")
+            << "\n";
+  return all_ok ? 0 : 1;
+}
+
 int usage() {
   std::cout << "usage:\n"
                "  rucosim adversary --target=<cas|tree|tree-classic|aac|uaac> --k=<K>"
@@ -498,7 +622,8 @@ int usage() {
                " [--bound=B] [--max-crashes=F]\n"
                "                    [--max-execs=N] [--por] [--jobs=N]"
                " [--legacy] [--progress[=N]]"
-               " [--telemetry[=out.json]]\n";
+               " [--telemetry[=out.json]]\n"
+               "  rucosim wmm       [--dump-dir=DIR] [--max-violations=N]\n";
   return 2;
 }
 
@@ -512,6 +637,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "certify") return cmd_certify(args);
     if (args.command == "check") return cmd_check(args);
+    if (args.command == "wmm") return cmd_wmm(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
